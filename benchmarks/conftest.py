@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (so the
+suite doubles as an end-to-end verification of the reproduction) and
+reports how long the regeneration takes.  Heavy experiments run one
+round; cheap ones let pytest-benchmark calibrate itself.
+"""
+
+import pytest
+
+
+def one_round(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return one_round

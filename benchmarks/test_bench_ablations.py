@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the reproduction's design choices.
+
+DESIGN.md §5 calls out three mechanisms the paper leaves implicit; these
+benchmarks quantify what each is worth, plus the history-depth ablation
+for the speculative DSM itself.
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.eval.performance import run_speculation
+from repro.predictors.base import DirectoryPredictor
+from repro.sim.machine import Machine, MachineMode
+
+
+def normalized(app, mode, **machine_kwargs):
+    workload = make_app(app, iterations=8).build()
+    base = Machine(workload, mode=MachineMode.BASE).run()
+    run = Machine(workload, mode=mode, **machine_kwargs).run()
+    return run, base
+
+
+def test_ablation_confidence_gating(benchmark, once, monkeypatch):
+    """Without per-entry confidence, ocean's thrashing reduction entries
+    spray mispredicted copies and erase FR's gains."""
+
+    def run_without_confidence():
+        monkeypatch.setattr(DirectoryPredictor, "confidence", lambda self, b, h: 3)
+        run, base = normalized("ocean", MachineMode.FR)
+        monkeypatch.undo()
+        gated, _ = normalized("ocean", MachineMode.FR)
+        return run, base, gated
+
+    ungated, base, gated = once(benchmark, run_without_confidence)
+    print()
+    print(f"ocean FR-DSM misses: gated={gated.speculation.fr_missed} "
+          f"ungated={ungated.speculation.fr_missed}")
+    assert ungated.speculation.fr_missed > gated.speculation.fr_missed
+
+
+def test_ablation_speculation_history_depth(benchmark, once):
+    """Deeper speculative-predictor histories on the alternating app."""
+
+    def sweep():
+        workload = make_app("unstructured", iterations=8).build()
+        base = Machine(workload, mode=MachineMode.BASE).run()
+        results = {}
+        for depth in (1, 2):
+            run = Machine(workload, mode=MachineMode.SWI, spec_depth=depth).run()
+            results[depth] = run.cycles / base.cycles
+        return results
+
+    results = once(benchmark, sweep)
+    print()
+    for depth, time in results.items():
+        print(f"unstructured SWI-DSM d={depth}: {time:.0%} of Base-DSM")
+    for time in results.values():
+        assert time < 0.85  # speculation helps at every depth
+
+
+@pytest.mark.parametrize("app", ["moldyn", "unstructured"])
+def test_extension_migratory_write_speculation(benchmark, once, app):
+    """MIG-DSM (the paper's future work): speculatively execute the
+    upgrade of a migratory read+write pair by granting the read
+    exclusively.  Should save write requests on the migratory apps
+    without hurting execution time."""
+
+    def compare():
+        workload = make_app(app, iterations=8).build()
+        swi = Machine(workload, mode=MachineMode.SWI).run()
+        mig = Machine(workload, mode=MachineMode.MIG).run()
+        return swi, mig
+
+    swi, mig = once(benchmark, compare)
+    print()
+    print(
+        f"{app}: SWI {swi.write_requests} write requests -> "
+        f"MIG {mig.write_requests} "
+        f"({mig.speculation.migratory_upgrades_saved} upgrades executed "
+        f"speculatively, {mig.speculation.migratory_demotions} demoted); "
+        f"exec {mig.cycles / swi.cycles:.0%} of SWI-DSM"
+    )
+    assert mig.speculation.migratory_grants > 0
+    assert mig.write_requests <= swi.write_requests
+    assert mig.cycles <= swi.cycles * 1.05
+
+
+@pytest.mark.parametrize("app", ["em3d", "tomcatv"])
+def test_ablation_fr_only_vs_swi(benchmark, once, app):
+    """How much of SWI-DSM's win comes from SWI rather than FR."""
+
+    def compare():
+        run = run_speculation(app, iterations=8)
+        return (
+            run.normalized_time(MachineMode.FR),
+            run.normalized_time(MachineMode.SWI),
+        )
+
+    fr_time, swi_time = once(benchmark, compare)
+    print()
+    print(f"{app}: FR {fr_time:.0%} vs SWI {swi_time:.0%} of Base-DSM")
+    assert swi_time <= fr_time  # SWI subsumes FR on these apps

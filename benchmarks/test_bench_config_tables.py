@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Tables 1 and 2 (configuration tables)."""
+
+from repro.eval.experiments import table1, table2
+
+
+def test_table1_system_configuration(benchmark):
+    rows = benchmark(table1)
+    rendered = dict(rows)
+    assert rendered["Round-trip miss latency"] == "418 cycles"
+    assert rendered["Number of nodes"] == "16"
+
+
+def test_table2_applications(benchmark):
+    rows = benchmark(table2)
+    assert len(rows) == 7
+    assert {name for name, _inputs, _iters in rows} == {
+        "appbt", "barnes", "em3d", "moldyn", "ocean", "tomcatv", "unstructured",
+    }

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6 (analytic model speedup sweeps)."""
+
+import pytest
+
+from repro.analytic.model import FIGURE6_SWEEPS, figure6_panel, figure6_panels
+
+
+def test_figure6_all_panels(benchmark):
+    panels = benchmark(figure6_panels, points=41)
+    assert set(panels) == set(FIGURE6_SWEEPS)
+    # Paper shape: perfect prediction turns the DSM into an SMP — the
+    # p=1.0 curve at c=1 reaches the full rtl=4 speedup.
+    accuracy_panel = panels["accuracy"]
+    _c, final = accuracy_panel[1.0][-1]
+    assert final == pytest.approx(4.0)
+    # Low accuracies slow the machine down (speedup < 1 at high c).
+    assert accuracy_panel[0.1][-1][1] < 1.0
+
+
+@pytest.mark.parametrize("panel", sorted(FIGURE6_SWEEPS))
+def test_figure6_single_panel(benchmark, panel):
+    series = benchmark(figure6_panel, panel, points=41)
+    for points in series.values():
+        assert len(points) == 41

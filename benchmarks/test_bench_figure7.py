@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 7 (base predictor accuracy, d=1).
+
+Prints the same series the paper plots and asserts its headline:
+MSP lifts a general message predictor's accuracy and VMSP lifts it
+further (81% -> 86% -> 93% in the paper).
+"""
+
+from repro.eval.experiments import figure7
+
+
+def test_figure7_accuracy_comparison(benchmark, once):
+    rows = once(benchmark, figure7)
+    apps = sorted(rows)
+    means = {
+        predictor: sum(rows[app][predictor] for app in apps) / len(apps)
+        for predictor in ("Cosmos", "MSP", "VMSP")
+    }
+    print()
+    print(f"{'application':<14s}{'Cosmos':>9s}{'MSP':>9s}{'VMSP':>9s}")
+    for app in apps:
+        print(
+            f"{app:<14s}{rows[app]['Cosmos']:>9.1f}"
+            f"{rows[app]['MSP']:>9.1f}{rows[app]['VMSP']:>9.1f}"
+        )
+    print(f"{'mean':<14s}{means['Cosmos']:>9.1f}"
+          f"{means['MSP']:>9.1f}{means['VMSP']:>9.1f}")
+    # Paper shape: 81% -> 86% -> 93%.
+    assert means["Cosmos"] < means["MSP"] < means["VMSP"]
+    assert 75.0 <= means["Cosmos"] <= 87.0
+    assert 82.0 <= means["MSP"] <= 92.0
+    assert 89.0 <= means["VMSP"] <= 97.0

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 8 (accuracy vs history depth)."""
+
+from repro.eval.experiments import figure8
+
+
+def test_figure8_history_depth(benchmark, once):
+    rows = once(benchmark, figure8)
+    print()
+    header = f"{'application':<14s}" + "".join(
+        f"{p}-d{d:>1d}".rjust(11)
+        for p in ("Cosmos", "MSP", "VMSP")
+        for d in (1, 2, 4)
+    )
+    print(header)
+    for app in sorted(rows):
+        cells = "".join(
+            f"{rows[app][d][p]:>11.1f}"
+            for p in ("Cosmos", "MSP", "VMSP")
+            for d in (1, 2, 4)
+        )
+        print(f"{app:<14s}{cells}")
+    # Paper shapes: depth 2 captures appbt's alternating edge consumers;
+    # deeper history recovers unstructured's alternating reductions.
+    assert rows["appbt"][2]["VMSP"] >= 99.0
+    assert rows["appbt"][2]["MSP"] > rows["appbt"][1]["MSP"]
+    assert rows["unstructured"][4]["VMSP"] > rows["unstructured"][1]["VMSP"]
+    assert rows["barnes"][4]["Cosmos"] >= rows["barnes"][1]["Cosmos"]

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 9 (speculative DSM execution time)."""
+
+from repro.eval.experiments import figure9
+from repro.eval.performance import PAPER_MODES
+from repro.sim.machine import MachineMode
+
+
+def test_figure9_execution_time(benchmark, once):
+    rows = once(benchmark, figure9)
+    print()
+    print(f"{'application':<14s}" + "".join(
+        f"{m.value:>20s}" for m in PAPER_MODES
+    ))
+    for app in sorted(rows):
+        cells = ""
+        for mode in PAPER_MODES:
+            comp, request = rows[app][mode.value]
+            cells += f"{100 * (comp + request):>11.0f}" + f" ({100 * request:>3.0f}r)"
+        print(f"{app:<14s}{cells}")
+
+    def total(app, mode):
+        comp, request = rows[app][mode.value]
+        return comp + request
+
+    apps = sorted(rows)
+    fr_mean = sum(total(a, MachineMode.FR) for a in apps) / len(apps)
+    swi_mean = sum(total(a, MachineMode.SWI) for a in apps) / len(apps)
+    # Paper shape: FR alone buys ~8% on average, SWI+FR ~12%, and the
+    # SWI winners are the producer/consumer applications.
+    assert fr_mean < 0.97
+    assert swi_mean < fr_mean
+    assert total("em3d", MachineMode.SWI) < 0.85
+    assert total("unstructured", MachineMode.SWI) < 0.85
+    for app in ("appbt", "barnes", "ocean"):
+        assert total(app, MachineMode.SWI) >= total(app, MachineMode.FR) - 0.06

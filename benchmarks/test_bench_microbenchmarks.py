@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the reproduction's hot paths.
+
+Not paper experiments — these track the throughput of the predictor
+observe loop, the protocol emulator, and the timing simulator so
+performance regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.common.rng import DeterministicRng
+from repro.predictors import Cosmos, Msp, Vmsp
+from repro.protocol.emulator import ProtocolEmulator
+from repro.sim.machine import Machine, MachineMode
+
+
+@pytest.fixture(scope="module")
+def em3d_messages():
+    workload = make_app("em3d", iterations=10).build()
+    emulator = ProtocolEmulator(DeterministicRng(7))
+    messages = []
+    for _block, block_messages in emulator.run(workload.block_scripts()):
+        messages.extend(block_messages)
+    return messages
+
+
+@pytest.mark.parametrize("predictor_cls", [Cosmos, Msp, Vmsp])
+def test_predictor_observe_throughput(benchmark, em3d_messages, predictor_cls):
+    def observe_all():
+        predictor = predictor_cls(depth=1)
+        for message in em3d_messages:
+            predictor.observe(message)
+        return predictor
+
+    predictor = benchmark(observe_all)
+    assert predictor.stats.observed > 0
+
+
+def test_protocol_emulator_throughput(benchmark):
+    workload = make_app("em3d", iterations=10).build()
+    scripts = workload.block_scripts()
+
+    def emulate():
+        emulator = ProtocolEmulator(DeterministicRng(7))
+        return sum(len(m) for _b, m in emulator.run(scripts))
+
+    total = benchmark(emulate)
+    assert total > 0
+
+
+def test_workload_build_throughput(benchmark):
+    workload = benchmark(lambda: make_app("unstructured", iterations=6).build())
+    assert workload.total_ops() > 0
+
+
+@pytest.mark.parametrize("mode", [MachineMode.BASE, MachineMode.SWI])
+def test_timing_simulator_throughput(benchmark, once, mode):
+    workload = make_app("em3d", iterations=6).build()
+    result = once(benchmark, lambda: Machine(workload, mode=mode).run())
+    assert result.cycles > 0

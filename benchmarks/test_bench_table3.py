@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table 3 (learning speed / coverage)."""
+
+from repro.eval.experiments import table3
+
+
+def test_table3_messages_predicted(benchmark, once):
+    rows = once(benchmark, table3)
+    print()
+    print(f"{'application':<14s}" + "".join(
+        f"{p:>16s}" for p in ("Cosmos", "MSP", "VMSP")
+    ))
+    for app in sorted(rows):
+        cells = "".join(
+            f"{rows[app][p][0]:>9.0f} ({rows[app][p][1]:>3.0f})"
+            for p in ("Cosmos", "MSP", "VMSP")
+        )
+        print(f"{app:<14s}{cells}")
+    for app, row in rows.items():
+        for predictor, (coverage, correct) in row.items():
+            assert 0.0 <= correct <= coverage <= 100.0
+    # Paper shape: iterative apps predict most messages; VMSP pays a
+    # small learning-speed cost but wins on correctly predicted totals.
+    assert rows["em3d"]["MSP"][0] >= 85.0
+    assert rows["unstructured"]["VMSP"][1] > rows["unstructured"]["MSP"][1]
+    assert rows["barnes"]["VMSP"][1] > rows["barnes"]["Cosmos"][1]

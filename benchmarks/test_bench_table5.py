@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table 5 (speculation / misspeculation rates)."""
+
+from repro.eval.experiments import table5
+
+
+def test_table5_speculation_rates(benchmark, once):
+    rows = once(benchmark, table5)
+    print()
+    columns = (
+        "fr_read_sent", "fr_read_miss", "swi_fr_read_sent",
+        "swi_read_sent", "swi_read_miss", "wi_sent", "wi_miss",
+    )
+    print(f"{'application':<14s}{'reads':>8s}{'writes':>8s}" + "".join(
+        f"{c:>17s}" for c in columns
+    ))
+    for app in sorted(rows):
+        row = rows[app]
+        print(
+            f"{app:<14s}{row['reads']:>8.0f}{row['writes']:>8.0f}"
+            + "".join(f"{row[c]:>17.0f}" for c in columns)
+        )
+    # Paper shapes (Section 7.4):
+    # em3d: SWI invalidates ~all writes and triggers ~all reads.
+    assert rows["em3d"]["wi_sent"] >= 90
+    assert rows["em3d"]["swi_read_sent"] >= 80
+    # tomcatv: the correction phase halves SWI's write coverage.
+    assert 30 <= rows["tomcatv"]["wi_sent"] <= 70
+    # SWI fails on appbt/barnes/ocean (producers re-touch their data).
+    for app in ("appbt", "barnes", "ocean"):
+        assert rows[app]["swi_read_sent"] <= 10
+    # unstructured: migratory SWI chains cover most writes.
+    assert rows["unstructured"]["wi_sent"] >= 80
+    # Write-invalidate misspeculation stays small everywhere.
+    for app, row in rows.items():
+        assert row["wi_miss"] <= 25

@@ -1,0 +1,57 @@
+"""Explore the paper's analytic model (Section 5, Figure 6).
+
+Answers the design questions the model was built for: how accurate must
+a predictor be before speculation pays off, and which machines (by
+remote-to-local latency ratio) benefit most?
+
+Run with::
+
+    python examples/analytic_model.py
+"""
+
+from repro import SpeculationModel, speedup
+from repro.analytic.model import figure6_panel
+
+
+def breakeven_accuracy() -> None:
+    """Find the accuracy where speculation stops hurting (c=1)."""
+    print("== Break-even prediction accuracy (f=1, rtl=4, n=2, c=1) ==")
+    for n in (1.5, 2.0, 4.0, 8.0):
+        low, high = 0.0, 1.0
+        for _ in range(40):
+            mid = (low + high) / 2
+            if speedup(c=1.0, f=1.0, p=mid, rtl=4.0, n=n) >= 1.0:
+                high = mid
+            else:
+                low = mid
+        print(f"  misspeculation penalty n={n:<4g} -> p >= {high:.2f}")
+    print()
+
+
+def machine_comparison() -> None:
+    print("== Who benefits? (p=0.9, f=1, n=2; Figure 6 bottom-right) ==")
+    machines = {8.0: "NUMA-Q-class cluster", 4.0: "Mercury-class cluster", 2.0: "Origin-class tightly coupled"}
+    for rtl, label in machines.items():
+        model = SpeculationModel(c=0.6, p=0.9, rtl=rtl)
+        print(f"  rtl={rtl:<3g} ({label:<28s}) speedup at c=0.6: "
+              f"{model.speedup():.2f}x")
+    print()
+
+
+def accuracy_panel() -> None:
+    print("== Figure 6 top-left: speedup vs c for accuracy sweeps ==")
+    series = figure6_panel("accuracy", points=6)
+    ratios = [c for c, _ in next(iter(series.values()))]
+    print("  p \\ c " + "".join(f"{c:>7.1f}" for c in ratios))
+    for p_value, points in series.items():
+        print(f"  {p_value:<6g}" + "".join(f"{s:>7.2f}" for _c, s in points))
+
+
+def main() -> None:
+    breakeven_accuracy()
+    machine_comparison()
+    accuracy_panel()
+
+
+if __name__ == "__main__":
+    main()

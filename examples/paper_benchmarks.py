@@ -1,0 +1,56 @@
+"""Reproduce the paper's headline comparisons on its own benchmarks.
+
+Runs the three predictors over all seven Table 2 applications (the
+Figure 7 experiment) and the three DSM variants over a representative
+subset (the Figure 9 experiment), printing paper-style summaries.
+
+Run with::
+
+    python examples/paper_benchmarks.py          # full
+    python examples/paper_benchmarks.py --fast   # quick look
+"""
+
+import argparse
+
+from repro import APP_NAMES, MachineMode, run_predictors, run_speculation
+
+
+def predictor_comparison(fast: bool) -> None:
+    print("== Figure 7: prediction accuracy (history depth 1) ==")
+    print(f"{'application':<14s}{'Cosmos':>9s}{'MSP':>9s}{'VMSP':>9s}")
+    totals = {"Cosmos": 0.0, "MSP": 0.0, "VMSP": 0.0}
+    for app in APP_NAMES:
+        iterations = 8 if fast else None
+        runs = run_predictors(app, depth=1, iterations=iterations)
+        row = "".join(f"{runs[p].accuracy:>9.1%}" for p in totals)
+        print(f"{app:<14s}{row}")
+        for name in totals:
+            totals[name] += runs[name].accuracy
+    mean = "".join(f"{totals[p] / len(APP_NAMES):>9.1%}" for p in totals)
+    print(f"{'mean':<14s}{mean}")
+    print()
+
+
+def speculation_comparison(fast: bool) -> None:
+    apps = ("em3d", "tomcatv", "unstructured") if fast else APP_NAMES
+    print("== Figure 9: execution time normalized to Base-DSM ==")
+    print(f"{'application':<14s}{'FR-DSM':>9s}{'SWI-DSM':>9s}")
+    for app in apps:
+        run = run_speculation(app, iterations=6 if fast else None)
+        print(
+            f"{app:<14s}"
+            f"{run.normalized_time(MachineMode.FR):>9.0%}"
+            f"{run.normalized_time(MachineMode.SWI):>9.0%}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller runs")
+    args = parser.parse_args()
+    predictor_comparison(args.fast)
+    speculation_comparison(args.fast)
+
+
+if __name__ == "__main__":
+    main()

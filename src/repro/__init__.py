@@ -1,0 +1,55 @@
+"""repro — Memory Sharing Predictors and a speculative coherent DSM.
+
+A full reproduction of Lai & Falsafi, *Memory Sharing Predictor: The
+Key to a Speculative Coherent DSM* (ISCA 1999): the Cosmos / MSP / VMSP
+pattern-based coherence predictors, a trace-driven full-map
+write-invalidate protocol emulator, an event-driven CC-NUMA timing
+simulator with First-Read and Speculative Write-Invalidation
+speculation, the paper's seven shared-memory application kernels, its
+analytic performance model, and drivers that regenerate every table and
+figure of the evaluation.
+
+Quick start::
+
+    from repro import MachineMode, run_predictors, run_speculation
+
+    runs = run_predictors("em3d")          # Cosmos vs MSP vs VMSP
+    print(runs["VMSP"].accuracy)
+
+    spec = run_speculation("em3d")         # Base vs FR vs SWI DSM
+    print(spec.normalized_time(MachineMode.SWI))
+"""
+
+from repro.analytic import SpeculationModel, communication_speedup, speedup
+from repro.apps import APP_NAMES, SharedMemoryApp, Workload, make_app
+from repro.common import SystemConfig
+from repro.eval import run_experiment, run_predictors, run_speculation
+from repro.predictors import Cosmos, Msp, Vmsp, make_predictor
+from repro.protocol import BlockScript, ProtocolEmulator, ReadEpoch, WriteEpoch
+from repro.sim import Machine, MachineMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_NAMES",
+    "BlockScript",
+    "Cosmos",
+    "Machine",
+    "MachineMode",
+    "Msp",
+    "ProtocolEmulator",
+    "ReadEpoch",
+    "SharedMemoryApp",
+    "SpeculationModel",
+    "SystemConfig",
+    "Vmsp",
+    "Workload",
+    "WriteEpoch",
+    "communication_speedup",
+    "make_app",
+    "make_predictor",
+    "run_experiment",
+    "run_predictors",
+    "run_speculation",
+    "speedup",
+]

@@ -1,0 +1,17 @@
+"""Analytic performance model of a speculative coherent DSM (Section 5)."""
+
+from repro.analytic.model import (
+    SpeculationModel,
+    communication_speedup,
+    figure6_panel,
+    figure6_panels,
+    speedup,
+)
+
+__all__ = [
+    "SpeculationModel",
+    "communication_speedup",
+    "figure6_panel",
+    "figure6_panels",
+    "speedup",
+]

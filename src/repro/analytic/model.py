@@ -1,0 +1,142 @@
+"""The paper's analytic model (Section 5, Equations 1 and 2).
+
+Parameters (paper notation):
+
+* ``c``   — the application's communication ratio on the critical path,
+* ``f``   — fraction of memory requests executed speculatively,
+* ``p``   — request prediction accuracy,
+* ``rtl`` — remote-to-local access latency ratio,
+* ``n``   — misspeculation penalty factor (in remote-access latencies).
+
+Equation 1 — speedup of communication time alone::
+
+    comm_speedup = 1 / ((1 - f) + f * (p / rtl + n * (1 - p)))
+
+Equation 2 — overall application speedup::
+
+    speedup = 1 / ((1 - c) + c / comm_speedup)
+
+Figure 6 of the paper plots Equation 2 against ``c`` for four parameter
+sweeps; :func:`figure6_panels` regenerates all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class SpeculationModel:
+    """A point in the analytic model's parameter space."""
+
+    c: float = 1.0
+    f: float = 1.0
+    p: float = 0.9
+    rtl: float = 4.0
+    n: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("c", "f", "p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.rtl < 1.0:
+            raise ValueError(f"rtl must be >= 1, got {self.rtl}")
+        if self.n < 0.0:
+            raise ValueError(f"n must be >= 0, got {self.n}")
+
+    def communication_speedup(self) -> float:
+        return communication_speedup(f=self.f, p=self.p, rtl=self.rtl, n=self.n)
+
+    def speedup(self) -> float:
+        return speedup(c=self.c, f=self.f, p=self.p, rtl=self.rtl, n=self.n)
+
+    def with_(self, **overrides: float) -> "SpeculationModel":
+        return replace(self, **overrides)
+
+
+def communication_speedup(
+    *, f: float, p: float, rtl: float, n: float
+) -> float:
+    """Equation 1: speedup of communication time under speculation.
+
+    A fraction ``f`` of remote requests execute speculatively; of those,
+    ``p`` succeed and cost a local access (1/rtl of a remote access) and
+    ``1 - p`` fail and cost ``n`` remote accesses.
+    """
+    denominator = (1.0 - f) + f * (p / rtl + n * (1.0 - p))
+    if denominator <= 0.0:
+        raise ValueError("model parameters give non-positive communication time")
+    return 1.0 / denominator
+
+
+def speedup(*, c: float, f: float, p: float, rtl: float, n: float) -> float:
+    """Equation 2: overall speedup for communication ratio ``c``."""
+    comm = communication_speedup(f=f, p=p, rtl=rtl, n=n)
+    return 1.0 / ((1.0 - c) + c / comm)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 sweeps
+# ----------------------------------------------------------------------
+
+#: The four panels of Figure 6: which parameter each sweeps, the swept
+#: values, and the fixed parameters shown in the panel captions.
+FIGURE6_SWEEPS: dict[str, dict] = {
+    "accuracy": {
+        "parameter": "p",
+        "values": (1.0, 0.9, 0.7, 0.5, 0.3, 0.1),
+        "fixed": {"n": 2.0, "f": 1.0, "rtl": 4.0},
+        "caption": "n = 2, f = 1.0, rtl = 4",
+    },
+    "penalty": {
+        "parameter": "n",
+        "values": (1.5, 2.0, 4.0, 8.0),
+        "fixed": {"p": 0.9, "f": 1.0, "rtl": 4.0},
+        "caption": "p = 0.9, f = 1.0, rtl = 4",
+    },
+    "fraction": {
+        "parameter": "f",
+        "values": (1.0, 0.9, 0.7, 0.5, 0.3, 0.1),
+        "fixed": {"p": 0.9, "n": 2.0, "rtl": 4.0},
+        "caption": "p = 0.9, n = 2, rtl = 4",
+    },
+    "rtl": {
+        "parameter": "rtl",
+        "values": (8.0, 4.0, 2.0),
+        "fixed": {"p": 0.9, "n": 2.0, "f": 1.0},
+        "caption": "p = 0.9, n = 2, f = 1.0",
+        "labels": {8.0: "rtl = 8 (NUMA-Q)", 4.0: "rtl = 4 (Mercury)", 2.0: "rtl = 2 (Origin)"},
+    },
+}
+
+
+def communication_ratios(points: int = 21) -> list[float]:
+    """The x axis of Figure 6: c from 0 to 1 inclusive."""
+    if points < 2:
+        raise ValueError("need at least two points")
+    return [i / (points - 1) for i in range(points)]
+
+
+def figure6_panel(
+    panel: str, points: int = 21
+) -> dict[float, list[tuple[float, float]]]:
+    """One Figure 6 panel: swept value -> [(c, speedup), ...] series."""
+    try:
+        spec = FIGURE6_SWEEPS[panel]
+    except KeyError:
+        known = ", ".join(sorted(FIGURE6_SWEEPS))
+        raise ValueError(f"unknown panel {panel!r} (known: {known})") from None
+    series: dict[float, list[tuple[float, float]]] = {}
+    for value in spec["values"]:
+        params = dict(spec["fixed"])
+        params[spec["parameter"]] = value
+        series[value] = [
+            (c, speedup(c=c, **params)) for c in communication_ratios(points)
+        ]
+    return series
+
+
+def figure6_panels(points: int = 21) -> dict[str, dict]:
+    """All four Figure 6 panels keyed by panel name."""
+    return {name: figure6_panel(name, points) for name in FIGURE6_SWEEPS}

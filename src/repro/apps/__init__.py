@@ -1,0 +1,56 @@
+"""The paper's seven shared-memory applications (Table 2).
+
+Each application is a *sharing-pattern kernel*: a faithful Python
+re-implementation of the logical communication structure of the original
+benchmark (who writes which blocks, who reads them, in which phase, with
+what raciness), scaled so Python-speed simulation is practical.  Every
+kernel produces a :class:`~repro.apps.base.Workload` with two coherent
+views:
+
+* per-block access scripts for the trace-driven protocol emulator
+  (predictor experiments: Figures 7-8, Tables 3-4), and
+* per-processor, phase-structured programs for the event-driven timing
+  simulator (speculation experiments: Figure 9, Table 5).
+"""
+
+from repro.apps.appbt import Appbt
+from repro.apps.barnes import Barnes
+from repro.apps.base import (
+    Compute,
+    LockAcquire,
+    LockRelease,
+    MemRead,
+    MemWrite,
+    Phase,
+    SharedMemoryApp,
+    Workload,
+    WorkloadBuilder,
+)
+from repro.apps.em3d import Em3d
+from repro.apps.moldyn import Moldyn
+from repro.apps.ocean import Ocean
+from repro.apps.registry import APP_CLASSES, APP_NAMES, make_app
+from repro.apps.tomcatv import Tomcatv
+from repro.apps.unstructured import Unstructured
+
+__all__ = [
+    "APP_CLASSES",
+    "APP_NAMES",
+    "Appbt",
+    "Barnes",
+    "Compute",
+    "Em3d",
+    "LockAcquire",
+    "LockRelease",
+    "MemRead",
+    "MemWrite",
+    "Moldyn",
+    "Ocean",
+    "Phase",
+    "SharedMemoryApp",
+    "Tomcatv",
+    "Unstructured",
+    "Workload",
+    "WorkloadBuilder",
+    "make_app",
+]

@@ -1,0 +1,156 @@
+"""ocean — SPLASH-2 eddy-current simulation on a 2D grid.
+
+Processors own square sub-grids and share boundary blocks with their
+immediate neighbours (paper Section 7.1):
+
+* **near-neighbour stencil** — edge blocks have a single stable
+  consumer; corner-region blocks are read by two neighbours whose read
+  requests race, which is what separates MSP (~92%) from VMSP (~96%)
+  on this application;
+* **multigrid levels** — coarser levels run only every 2nd/4th
+  iteration, so their patterns recur rarely and depress prediction
+  coverage (Table 3 shows ocean's coverage in the 80s);
+* **lock-based reduction** — every iteration ends with a global sum
+  protected by a lock, and the order in which processors enter the lock
+  changes every iteration; the resulting migratory read/upgrade pairs
+  are why no predictor reaches 100% on ocean;
+* the producer smooths (writes) its boundary blocks twice per stencil
+  step, which defeats Speculative Write-Invalidation ("the producer ...
+  writes multiple times to the block" — Section 7.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import SharedMemoryApp, WorkloadBuilder
+from repro.common.types import BlockId, NodeId
+from repro.sim.address import AddressSpace
+
+
+def _grid_shape(num_procs: int) -> tuple[int, int]:
+    """Factor the processor count into the squarest grid."""
+    best = (1, num_procs)
+    for rows in range(1, int(math.isqrt(num_procs)) + 1):
+        if num_procs % rows == 0:
+            best = (rows, num_procs // rows)
+    return best
+
+
+class Ocean(SharedMemoryApp):
+    """Near-neighbour stencil with multigrid levels and a reduction."""
+
+    name = "ocean"
+    paper_input = "130x130 array"
+    paper_iterations = 12
+
+    def __init__(
+        self,
+        num_procs: int = 16,
+        iterations: int | None = None,
+        seed: int | str = 1999,
+        edge_blocks: int = 6,
+        corner_blocks: int = 2,
+        multigrid_levels: int = 3,
+        compute_cycles: int = 450,
+    ) -> None:
+        super().__init__(num_procs=num_procs, iterations=iterations, seed=seed)
+        if multigrid_levels < 1:
+            raise ValueError("need at least one multigrid level")
+        self.edge_blocks = edge_blocks
+        self.corner_blocks = corner_blocks
+        self.multigrid_levels = multigrid_levels
+        self.compute_cycles = compute_cycles
+
+    @classmethod
+    def default_iterations(cls) -> int:
+        return 12
+
+    # ------------------------------------------------------------------
+    def _build(self, b: WorkloadBuilder) -> None:
+        rows, cols = _grid_shape(self.num_procs)
+        space = AddressSpace(self.num_procs)
+        jitter = self.rng("jitter")
+        lock_rng = self.rng("lock-order")
+
+        # Shared blocks per multigrid level: (owner, consumers, blocks);
+        # coarser levels have half the boundary blocks of the previous.
+        levels = []
+        for level in range(self.multigrid_levels):
+            scale = max(1, self.edge_blocks >> level)
+            corner_scale = max(1, self.corner_blocks >> level)
+            levels.append(
+                self._make_boundaries(space, rows, cols, scale, corner_scale)
+            )
+
+        # One global reduction cell (plus its lock).
+        sum_block = space.alloc_one(0)
+
+        for iteration in range(self.iterations):
+            for level, boundaries in enumerate(levels):
+                if iteration % (1 << level):
+                    continue  # coarse levels run every 2^level iterations
+                self._stencil_step(b, f"level{level}", boundaries, jitter)
+            self._reduction(b, sum_block, lock_rng, jitter)
+
+    def _make_boundaries(
+        self,
+        space: AddressSpace,
+        rows: int,
+        cols: int,
+        edge_blocks: int,
+        corner_blocks: int,
+    ) -> list[tuple[NodeId, tuple[NodeId, ...], list[BlockId]]]:
+        """Edge blocks (one consumer) plus corner blocks (two, racing)."""
+        boundaries = []
+        for p in range(self.num_procs):
+            r, c = divmod(p, cols)
+            right = p + 1 if c + 1 < cols else None
+            down = p + cols if r + 1 < rows else None
+            if right is not None:
+                boundaries.append((p, (right,), space.alloc(p, edge_blocks)))
+            if down is not None:
+                boundaries.append((p, (down,), space.alloc(p, edge_blocks)))
+            if right is not None and down is not None:
+                # Corner region: both neighbours read these blocks.
+                boundaries.append(
+                    (p, (right, down), space.alloc(p, corner_blocks))
+                )
+        return boundaries
+
+    def _stencil_step(self, b: WorkloadBuilder, name, boundaries, jitter) -> None:
+        # The owner re-reads its boundary blocks (recalled by last
+        # step's consumers) and smooths them in two full sweeps — the
+        # second sweep's writes are silent under the base protocol but
+        # arrive after SWI has recalled the copies, which is what defeats
+        # SWI on ocean ("the producer ... writes multiple times to the
+        # block", Section 7.4).
+        with b.phase(f"{name}-smooth"):
+            for p in range(self.num_procs):
+                b.compute(p, self.compute_cycles + jitter.randint(0, 50))
+            for owner, _consumers, blocks in boundaries:
+                for block in blocks:
+                    b.read(owner, block)
+                    b.write(owner, block)
+            for owner, _consumers, blocks in boundaries:
+                for block in blocks:
+                    b.write(owner, block)
+        with b.phase(f"{name}-exchange", racy_reads=True, racy_acks=True):
+            for p in range(self.num_procs):
+                b.compute(p, self.compute_cycles // 2 + jitter.randint(0, 50))
+            for _owner, consumers, blocks in boundaries:
+                for block in blocks:
+                    for consumer in consumers:
+                        b.read(consumer, block)
+
+    def _reduction(self, b: WorkloadBuilder, sum_block, lock_rng, jitter) -> None:
+        """Global sum under a lock; entry order reshuffles every time."""
+        order = lock_rng.shuffled(range(self.num_procs))
+        with b.phase("reduction"):
+            for p in range(self.num_procs):
+                b.compute(p, jitter.randint(10, 80))
+            for p in order:
+                b.lock(p, 0)
+                b.read(p, sum_block)
+                b.write(p, sum_block)
+                b.unlock(p, 0)

@@ -1,0 +1,44 @@
+"""Application registry: the paper's Table 2 line-up."""
+
+from __future__ import annotations
+
+from repro.apps.appbt import Appbt
+from repro.apps.barnes import Barnes
+from repro.apps.base import SharedMemoryApp
+from repro.apps.em3d import Em3d
+from repro.apps.moldyn import Moldyn
+from repro.apps.ocean import Ocean
+from repro.apps.tomcatv import Tomcatv
+from repro.apps.unstructured import Unstructured
+
+#: Paper order (Table 2, alphabetical).
+APP_CLASSES: dict[str, type[SharedMemoryApp]] = {
+    cls.name: cls
+    for cls in (Appbt, Barnes, Em3d, Moldyn, Ocean, Tomcatv, Unstructured)
+}
+
+APP_NAMES: tuple[str, ...] = tuple(APP_CLASSES)
+
+
+def make_app(
+    name: str,
+    num_procs: int = 16,
+    iterations: int | None = None,
+    seed: int | str = 1999,
+    **kwargs,
+) -> SharedMemoryApp:
+    """Instantiate an application kernel by its paper name."""
+    try:
+        cls = APP_CLASSES[name]
+    except KeyError:
+        known = ", ".join(APP_NAMES)
+        raise ValueError(f"unknown application {name!r} (known: {known})") from None
+    return cls(num_procs=num_procs, iterations=iterations, seed=seed, **kwargs)
+
+
+def table2_rows() -> list[tuple[str, str, int]]:
+    """Rows of paper Table 2: (application, input data set, iterations)."""
+    return [
+        (cls.name, cls.paper_input, cls.paper_iterations)
+        for cls in APP_CLASSES.values()
+    ]

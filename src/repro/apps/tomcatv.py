@@ -1,0 +1,92 @@
+"""tomcatv — vectorized mesh-generation stencil (SPEC).
+
+Processors own contiguous bands of matrix rows and share only the rows
+at band boundaries.  Sharing structure (paper Section 7.1):
+
+* pure near-neighbour stencil: each boundary row block is produced by
+  its owner and consumed by exactly one neighbour, in a deterministic
+  order every iteration — all three predictors reach 100% accuracy;
+* the producer re-reads its own boundary block before rewriting it, so
+  every block's read sequence holds two readers: the consumer and the
+  producer (this is what lets First-Read trigger the producer's read
+  from the consumer's request — Table 5);
+* a *correction phase* rewrites half of the boundary blocks after the
+  main write, which defeats Speculative Write-Invalidation on exactly
+  those blocks ("SWI only succeeds in invalidating half of the
+  writes" — Section 7.4).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import SharedMemoryApp, WorkloadBuilder
+from repro.common.types import BlockId, NodeId
+from repro.sim.address import AddressSpace
+
+
+class Tomcatv(SharedMemoryApp):
+    """Row-band stencil with a correction phase."""
+
+    name = "tomcatv"
+    paper_input = "128x128 array"
+    paper_iterations = 50
+
+    def __init__(
+        self,
+        num_procs: int = 16,
+        iterations: int | None = None,
+        seed: int | str = 1999,
+        blocks_per_row: int = 8,
+        compute_cycles: int = 5000,
+    ) -> None:
+        super().__init__(num_procs=num_procs, iterations=iterations, seed=seed)
+        if blocks_per_row < 2:
+            raise ValueError("blocks_per_row must be >= 2")
+        self.blocks_per_row = blocks_per_row
+        self.compute_cycles = compute_cycles
+
+    @classmethod
+    def default_iterations(cls) -> int:
+        return 20
+
+    # ------------------------------------------------------------------
+    def _build(self, b: WorkloadBuilder) -> None:
+        space = AddressSpace(self.num_procs)
+        jitter = self.rng("jitter")
+        # Each internal band boundary has two shared rows: the lower
+        # band's top row (owner p, consumer p-1 — unused here) and the
+        # upper band's bottom row (owner p, consumer p+1).  We allocate
+        # both directions so every processor is both producer and
+        # consumer, as in the real stencil.
+        boundary: list[tuple[NodeId, NodeId, list[BlockId]]] = []
+        for p in range(self.num_procs - 1):
+            boundary.append((p, p + 1, space.alloc(p, self.blocks_per_row)))
+            boundary.append((p + 1, p, space.alloc(p + 1, self.blocks_per_row)))
+
+        for _ in range(self.iterations):
+            # Main phase: the producer re-reads its boundary row (its
+            # copy was recalled by the consumer's read last iteration),
+            # then writes the new values.
+            with b.phase("main"):
+                for p in range(self.num_procs):
+                    b.compute(p, self.compute_cycles + jitter.randint(0, 40))
+                for owner, _consumer, blocks in boundary:
+                    for block in blocks:
+                        b.read(owner, block)
+                        b.write(owner, block)
+            # Correction phase: rewrite half of each boundary row.
+            # Silent under the base protocol (the producer still holds
+            # the block exclusively) but a premature-invalidation signal
+            # for SWI.
+            with b.phase("correction"):
+                for p in range(self.num_procs):
+                    b.compute(p, self.compute_cycles // 4 + jitter.randint(0, 20))
+                for owner, _consumer, blocks in boundary:
+                    for block in blocks[: len(blocks) // 2]:
+                        b.write(owner, block)
+            # Consumer phase: the neighbour reads the boundary row.
+            with b.phase("consume"):
+                for p in range(self.num_procs):
+                    b.compute(p, self.compute_cycles // 2 + jitter.randint(0, 40))
+                for _owner, consumer, blocks in boundary:
+                    for block in blocks:
+                        b.read(consumer, block)

@@ -1,0 +1,34 @@
+"""Shared primitives for the DSM reproduction.
+
+This package holds the vocabulary used by every other subsystem: message
+and access kinds, node/block identifiers, the simulated machine
+configuration (Table 1 of the paper), counters, and seeded randomness
+helpers.
+"""
+
+from repro.common.config import SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.stats import Counter, StatSet
+from repro.common.types import (
+    AccessKind,
+    BlockId,
+    Message,
+    MessageKind,
+    NodeId,
+    ACK_KINDS,
+    REQUEST_KINDS,
+)
+
+__all__ = [
+    "AccessKind",
+    "BlockId",
+    "Counter",
+    "DeterministicRng",
+    "Message",
+    "MessageKind",
+    "NodeId",
+    "StatSet",
+    "SystemConfig",
+    "ACK_KINDS",
+    "REQUEST_KINDS",
+]

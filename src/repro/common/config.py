@@ -1,0 +1,102 @@
+"""Simulated machine configuration (Table 1 of the paper).
+
+The defaults reproduce the CC-NUMA the paper simulates with the Wisconsin
+Wind Tunnel II: sixteen nodes, 600-MHz processors, 104-cycle local
+memory / remote-cache access, an 80-cycle point-to-point network, and a
+418-cycle clean round-trip remote miss, for a remote-to-local access
+ratio (rtl) of roughly four.
+
+The 418-cycle round trip is decomposed into explicit components so the
+timing simulator can price multi-hop transactions (for example a read
+that must first recall a writable copy from a third node):
+
+    request:  NI processing (25) + network (80)
+    home:     memory/directory access (104)
+    reply:    NI processing (25) + network (80)
+    fill:     requester-side memory/remote-cache fill (104)
+
+    25 + 80 + 104 + 25 + 80 + 104 = 418
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Parameters of the simulated DSM (paper Table 1)."""
+
+    num_nodes: int = 16
+    processor_mhz: int = 600
+    processor_cache_bytes: int = 1 << 20
+    memory_bus_mhz: int = 100
+    block_bytes: int = 32
+    page_bytes: int = 4096
+
+    #: Local memory / remote cache access time, cycles (Table 1).
+    local_access_cycles: int = 104
+    #: One-way network latency, cycles (Table 1).
+    network_cycles: int = 80
+    #: Network-interface per-message processing, cycles.  Chosen so the
+    #: clean remote round trip totals 418 cycles as in Table 1.
+    ni_cycles: int = 25
+    #: Processor cache hit, cycles.
+    cache_hit_cycles: int = 1
+    #: Fixed cost of an uncontended lock acquire, cycles.
+    lock_acquire_cycles: int = 200
+    #: Fixed cost of a barrier release broadcast, cycles.
+    barrier_release_cycles: int = 50
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a DSM needs at least two nodes")
+        if self.block_bytes <= 0 or self.page_bytes % self.block_bytes:
+            raise ValueError("page size must be a multiple of block size")
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_bytes // self.block_bytes
+
+    @property
+    def round_trip_cycles(self) -> int:
+        """Clean two-hop remote miss latency (Table 1: 418 cycles)."""
+        return 2 * (self.ni_cycles + self.network_cycles) + 2 * self.local_access_cycles
+
+    @property
+    def remote_to_local_ratio(self) -> float:
+        """The paper's ``rtl`` parameter (~4 for this configuration)."""
+        return self.round_trip_cycles / self.local_access_cycles
+
+    def home_of(self, block: int) -> int:
+        """Home node of a block under page-granularity distribution.
+
+        The address space is statically partitioned: the top bits of a
+        block id name its home node (see ``repro.sim.address``), so homes
+        are contiguous at page granularity as in real DSMs that
+        distribute memory pages (Section 2).
+        """
+        return (block >> HOME_SHIFT) % self.num_nodes
+
+
+#: Block ids reserve the bits above HOME_SHIFT for the home node, giving
+#: each node a private 2^HOME_SHIFT-block heap (see repro.sim.address).
+HOME_SHIFT = 24
+
+
+def table1_rows(config: SystemConfig | None = None) -> list[tuple[str, str]]:
+    """Rows of paper Table 1 for the given (default) configuration."""
+    cfg = config or SystemConfig()
+    return [
+        ("Number of nodes", str(cfg.num_nodes)),
+        ("Processor speed", f"{cfg.processor_mhz} MHz"),
+        ("Processor cache", f"{cfg.processor_cache_bytes // (1 << 20)} Mbyte"),
+        ("Memory bus", f"{cfg.memory_bus_mhz} MHz"),
+        ("Local memory/Remote Cache access time", f"{cfg.local_access_cycles} cycles"),
+        ("Network latency", f"{cfg.network_cycles} cycles"),
+        ("Round-trip miss latency", f"{cfg.round_trip_cycles} cycles"),
+        (
+            "Remote-to-local access ratio (rtl)",
+            f"~{cfg.remote_to_local_ratio:.0f}",
+        ),
+    ]

@@ -1,0 +1,65 @@
+"""Deterministic, stream-splittable randomness.
+
+Every stochastic element in the reproduction — message races in the
+protocol emulator, workload shapes in the application kernels, timing
+jitter in the simulator — draws from a :class:`DeterministicRng` derived
+from a single experiment seed, so all results are reproducible
+bit-for-bit.  Streams are split by string labels rather than by sharing
+one generator, so adding a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import MutableSequence, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A labelled, splittable wrapper around :class:`random.Random`."""
+
+    def __init__(self, seed: int | str, label: str = "root") -> None:
+        self._seed = str(seed)
+        self._label = label
+        digest = hashlib.sha256(f"{self._seed}/{label}".encode()).digest()
+        self._random = random.Random(int.from_bytes(digest[:8], "big"))
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def split(self, label: str) -> "DeterministicRng":
+        """Derive an independent stream identified by ``label``."""
+        return DeterministicRng(self._seed, f"{self._label}/{label}")
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def shuffle(self, items: MutableSequence[T]) -> None:
+        self._random.shuffle(items)
+
+    def shuffled(self, items: Sequence[T]) -> list[T]:
+        """A new list with the items in a random order."""
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(items, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeterministicRng(seed={self._seed!r}, label={self._label!r})"

@@ -1,0 +1,63 @@
+"""Lightweight counters used across the simulators and predictors."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Counter:
+    """An integer event counter with a few convenience accessors."""
+
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class StatSet:
+    """A named collection of counters, auto-created on first touch.
+
+    >>> stats = StatSet()
+    >>> stats.bump("reads")
+    >>> stats.bump("reads", 2)
+    >>> stats["reads"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """numerator / denominator, or 0.0 when the denominator is 0."""
+        denom = self._counters.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / denom
+
+    def merge(self, other: "StatSet") -> None:
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatSet({inner})"

@@ -1,0 +1,110 @@
+"""Core vocabulary types for the DSM coherence machinery.
+
+The paper (Section 2) distinguishes two families of coherence messages
+arriving at a home directory:
+
+* *request* messages — ``READ``, ``WRITE``, and ``UPGRADE`` — issued by a
+  processor that wants a copy of a memory block, and
+* *acknowledgement* messages — ``ACK`` (response to a read-only
+  invalidation) and ``WRITEBACK`` (response to an invalidation of a
+  writable copy) — which are always direct consequences of protocol
+  actions.
+
+A general message predictor (Cosmos) predicts all five kinds; a Memory
+Sharing Predictor only predicts the three request kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NodeId = int
+BlockId = int
+
+
+class AccessKind(enum.Enum):
+    """A processor-level memory access, before protocol translation."""
+
+    LOAD = "load"
+    STORE = "store"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessKind.{self.name}"
+
+
+class MessageKind(enum.Enum):
+    """Kinds of coherence messages observed at a home directory."""
+
+    READ = "read"
+    WRITE = "write"
+    UPGRADE = "upgrade"
+    ACK = "ack"
+    WRITEBACK = "writeback"
+
+    @property
+    def is_request(self) -> bool:
+        """True for the three memory-request kinds MSPs predict."""
+        return self in REQUEST_KINDS
+
+    @property
+    def is_ack(self) -> bool:
+        """True for protocol acknowledgements (ack / writeback)."""
+        return self in ACK_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MessageKind.{self.name}"
+
+
+REQUEST_KINDS = frozenset(
+    {MessageKind.READ, MessageKind.WRITE, MessageKind.UPGRADE}
+)
+ACK_KINDS = frozenset({MessageKind.ACK, MessageKind.WRITEBACK})
+
+#: Number of distinct message kinds a general message predictor encodes.
+#: Three requests plus two acknowledgement kinds -> 3 bits (Section 7.3).
+GENERAL_MESSAGE_KIND_COUNT = 5
+
+#: Number of request kinds an MSP encodes -> 2 bits (Section 7.3).
+REQUEST_KIND_COUNT = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A coherence message as it arrives at a block's home directory.
+
+    ``block`` is the memory block the message concerns and ``node`` the
+    processor that sent it.  Messages compare by value so predictors can
+    use them directly as pattern-table tokens.
+    """
+
+    kind: MessageKind
+    node: NodeId
+    block: BlockId
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind.is_request
+
+    @property
+    def token(self) -> tuple[MessageKind, NodeId]:
+        """The (kind, node) pair used as a predictor token.
+
+        The block id is implicit: history and pattern tables are indexed
+        per block, so tokens never need to repeat it.
+        """
+        return (self.kind, self.node)
+
+    def __str__(self) -> str:
+        return f"<{self.kind.value},P{self.node}>@{self.block:#x}"
+
+
+class DirectoryState(enum.Enum):
+    """Stable states of the full-map write-invalidate directory FSM."""
+
+    IDLE = "idle"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DirectoryState.{self.name}"

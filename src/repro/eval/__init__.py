@@ -1,0 +1,51 @@
+"""Experiment drivers and renderers for every table and figure.
+
+Each experiment function regenerates one table or figure of the paper's
+evaluation (Section 7) from the reproduction's own simulators:
+
+================  ===============================================
+``figure6``       analytic-model speedup sweeps (4 panels)
+``figure7``       base predictor accuracy, history depth 1
+``figure8``       predictor accuracy at depths 1 / 2 / 4
+``figure9``       Base-DSM vs FR-DSM vs SWI-DSM execution time
+``table1``        simulated system configuration
+``table2``        applications and input sets
+``table3``        messages predicted (and correctly predicted)
+``table4``        predictor storage overhead
+``table5``        request / speculation / misspeculation rates
+================  ===============================================
+"""
+
+from repro.eval.accuracy import PredictorRun, run_predictors
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.eval.performance import SpeculationRun, run_speculation
+
+__all__ = [
+    "EXPERIMENTS",
+    "PredictorRun",
+    "SpeculationRun",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "run_experiment",
+    "run_predictors",
+    "run_speculation",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,77 @@
+"""Trace-driven predictor evaluation (Figures 7-8, Tables 3-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import make_app
+from repro.common.rng import DeterministicRng
+from repro.predictors import PREDICTOR_CLASSES, DirectoryPredictor
+from repro.predictors.base import PredictionStats
+from repro.protocol.emulator import ProtocolEmulator
+
+
+@dataclass(slots=True)
+class PredictorRun:
+    """Outcome of training one predictor on one application's trace."""
+
+    app: str
+    predictor: str
+    depth: int
+    stats: PredictionStats
+    average_pte: float
+    overhead_bytes: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.stats.accuracy
+
+    @property
+    def coverage(self) -> float:
+        return self.stats.coverage
+
+    @property
+    def correct_fraction(self) -> float:
+        return self.stats.correct_fraction
+
+
+def run_predictors(
+    app_name: str,
+    depth: int = 1,
+    predictors: tuple[str, ...] = ("Cosmos", "MSP", "VMSP"),
+    num_procs: int = 16,
+    iterations: int | None = None,
+    seed: int | str = 1999,
+    race_seed: int | str = 7,
+) -> dict[str, PredictorRun]:
+    """Train the named predictors on one application's directory trace.
+
+    All predictors observe the *same* message stream (including the
+    same race outcomes), exactly as the paper compares them.
+    """
+    app = make_app(app_name, num_procs=num_procs, iterations=iterations, seed=seed)
+    workload = app.build()
+    emulator = ProtocolEmulator(DeterministicRng(race_seed))
+    instances: dict[str, DirectoryPredictor] = {
+        name: PREDICTOR_CLASSES[name](depth=depth) for name in predictors
+    }
+    for _block, messages in emulator.run(workload.block_scripts()):
+        for message in messages:
+            for predictor in instances.values():
+                predictor.observe(message)
+    results: dict[str, PredictorRun] = {}
+    for name, predictor in instances.items():
+        flush = getattr(predictor, "flush", None)
+        if flush is not None:
+            flush()
+        average_pte = predictor.average_pattern_entries()
+        profile = predictor.storage_profile(num_procs, depth)
+        results[name] = PredictorRun(
+            app=app_name,
+            predictor=name,
+            depth=depth,
+            stats=predictor.stats,
+            average_pte=average_pte,
+            overhead_bytes=profile.bytes_per_block(average_pte),
+        )
+    return results

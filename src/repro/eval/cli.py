@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-paper                  # run everything
+    repro-paper figure7 table5   # run specific experiments
+    repro-paper --fast           # quarter-size runs for a quick look
+    repro-paper --list           # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.reporting import RENDERERS, render
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description=(
+            "Reproduce the tables and figures of Lai & Falsafi, 'Memory "
+            "Sharing Predictor: The Key to a Speculative Coherent DSM' "
+            "(ISCA 1999)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (default: all); see --list",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="quarter-size workloads for a quick smoke run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in RENDERERS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(RENDERERS)
+    unknown = [n for n in names if n not in RENDERERS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(known: {', '.join(RENDERERS)})"
+        )
+
+    for name in names:
+        started = time.perf_counter()
+        output = render(name, fast=args.fast)
+        elapsed = time.perf_counter() - started
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

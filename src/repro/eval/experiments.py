@@ -1,0 +1,175 @@
+"""One driver per paper table / figure, returning structured rows."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analytic.model import figure6_panels
+from repro.apps.registry import APP_NAMES, table2_rows
+from repro.common.config import SystemConfig, table1_rows
+from repro.eval.accuracy import run_predictors
+from repro.eval.performance import PAPER_MODES, run_speculation
+from repro.sim.machine import MachineMode
+
+PREDICTORS = ("Cosmos", "MSP", "VMSP")
+
+#: Iteration counts for the accuracy experiments.  Larger than each
+#: app's default so pattern-table reuse (coverage) approaches the
+#: paper's long runs while staying fast in Python.
+ACCURACY_ITERATIONS = {
+    "appbt": 30,
+    "barnes": 40,
+    "em3d": 40,
+    "moldyn": 40,
+    "ocean": 24,
+    "tomcatv": 40,
+    "unstructured": 32,
+}
+
+#: Iteration counts for the (slower) timing-simulator experiments.
+PERFORMANCE_ITERATIONS = {
+    "appbt": 12,
+    "barnes": 15,
+    "em3d": 16,
+    "moldyn": 14,
+    "ocean": 12,
+    "tomcatv": 16,
+    "unstructured": 12,
+}
+
+
+def _scale(iterations: dict[str, int], fast: bool) -> dict[str, int]:
+    if not fast:
+        return iterations
+    return {name: max(4, count // 4) for name, count in iterations.items()}
+
+
+# ----------------------------------------------------------------------
+# configuration tables
+# ----------------------------------------------------------------------
+def table1(fast: bool = False) -> list[tuple[str, str]]:
+    """Table 1: system configuration parameters."""
+    del fast
+    return table1_rows(SystemConfig())
+
+
+def table2(fast: bool = False) -> list[tuple[str, str, int]]:
+    """Table 2: applications and input data sets."""
+    del fast
+    return table2_rows()
+
+
+# ----------------------------------------------------------------------
+# analytic model
+# ----------------------------------------------------------------------
+def figure6(fast: bool = False, points: int = 21) -> dict[str, dict]:
+    """Figure 6: speedup of a speculative coherent DSM (4 panels)."""
+    del fast
+    return figure6_panels(points=points)
+
+
+# ----------------------------------------------------------------------
+# predictor accuracy / cost
+# ----------------------------------------------------------------------
+def figure7(fast: bool = False) -> dict[str, dict[str, float]]:
+    """Figure 7: prediction accuracy per app, depth 1 (percent)."""
+    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    rows: dict[str, dict[str, float]] = {}
+    for app in APP_NAMES:
+        runs = run_predictors(app, depth=1, iterations=iterations[app])
+        rows[app] = {
+            name: 100.0 * run.accuracy for name, run in runs.items()
+        }
+    return rows
+
+
+def figure8(fast: bool = False, depths: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Figure 8: prediction accuracy at history depths 1, 2, 4."""
+    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    rows: dict[str, dict[int, dict[str, float]]] = {}
+    for app in APP_NAMES:
+        rows[app] = {}
+        for depth in depths:
+            runs = run_predictors(app, depth=depth, iterations=iterations[app])
+            rows[app][depth] = {
+                name: 100.0 * run.accuracy for name, run in runs.items()
+            }
+    return rows
+
+
+def table3(fast: bool = False) -> dict[str, dict[str, tuple[float, float]]]:
+    """Table 3: % messages predicted (and correctly predicted), d=1."""
+    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    rows: dict[str, dict[str, tuple[float, float]]] = {}
+    for app in APP_NAMES:
+        runs = run_predictors(app, depth=1, iterations=iterations[app])
+        rows[app] = {
+            name: (100.0 * run.coverage, 100.0 * run.correct_fraction)
+            for name, run in runs.items()
+        }
+    return rows
+
+
+def table4(fast: bool = False) -> dict[str, dict[str, dict[str, float]]]:
+    """Table 4: pattern-table entries per block (d=1, d=4), bytes (d=1)."""
+    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    for app in APP_NAMES:
+        shallow = run_predictors(app, depth=1, iterations=iterations[app])
+        deep = run_predictors(app, depth=4, iterations=iterations[app])
+        rows[app] = {
+            name: {
+                "pte_d1": shallow[name].average_pte,
+                "pte_d4": deep[name].average_pte,
+                "ovh_d1": shallow[name].overhead_bytes,
+            }
+            for name in PREDICTORS
+        }
+    return rows
+
+
+# ----------------------------------------------------------------------
+# speculative DSM performance
+# ----------------------------------------------------------------------
+def figure9(fast: bool = False) -> dict[str, dict[str, tuple[float, float]]]:
+    """Figure 9: normalized execution time (comp, request) per system."""
+    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
+    rows: dict[str, dict[str, tuple[float, float]]] = {}
+    for app in APP_NAMES:
+        run = run_speculation(app, iterations=iterations[app])
+        rows[app] = {
+            mode.value: run.breakdown(mode) for mode in PAPER_MODES
+        }
+    return rows
+
+
+def table5(fast: bool = False) -> dict[str, dict[str, float]]:
+    """Table 5: request counts and speculation/misspeculation rates."""
+    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
+    return {
+        app: run_speculation(app, iterations=iterations[app]).table5_row()
+        for app in APP_NAMES
+    }
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": table1,
+    "table2": table2,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "table3": table3,
+    "table4": table4,
+    "figure9": figure9,
+    "table5": table5,
+}
+
+
+def run_experiment(name: str, fast: bool = False):
+    """Run one experiment by its paper id (e.g. 'figure7')."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
+    return fn(fast=fast)

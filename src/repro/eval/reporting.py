@@ -1,0 +1,193 @@
+"""ASCII renderers that print each experiment like the paper shows it."""
+
+from __future__ import annotations
+
+from repro.apps.registry import APP_NAMES
+from repro.eval import experiments as exp
+from repro.eval.performance import PAPER_MODES
+from repro.sim.machine import MachineMode
+
+PREDICTORS = exp.PREDICTORS
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_table1(fast: bool = False) -> str:
+    lines = ["Table 1: System configuration parameters.", _rule(58)]
+    for name, value in exp.table1(fast=fast):
+        lines.append(f"{name:<44s} {value:>12s}")
+    return "\n".join(lines)
+
+
+def render_table2(fast: bool = False) -> str:
+    lines = [
+        "Table 2: Applications and input data sets (paper-scale).",
+        _rule(58),
+        f"{'Application':<14s} {'Input Data Sets':<28s} {'Iterations':>10s}",
+    ]
+    for name, inputs, iterations in exp.table2(fast=fast):
+        lines.append(f"{name:<14s} {inputs:<28s} {iterations:>10d}")
+    return "\n".join(lines)
+
+
+def render_figure6(fast: bool = False, points: int = 11) -> str:
+    panels = exp.figure6(fast=fast, points=points)
+    lines = ["Figure 6: Potential speedup in a speculative coherent DSM."]
+    for panel_name, series in panels.items():
+        lines.append("")
+        lines.append(f"[panel: {panel_name} sweep]  speedup vs communication ratio c")
+        ratios = [c for c, _s in next(iter(series.values()))]
+        header = "value".ljust(8) + "".join(f"c={c:<5.2f}" for c in ratios)
+        lines.append(header)
+        for value, points_list in series.items():
+            row = f"{value:<8g}" + "".join(f"{s:<7.2f}" for _c, s in points_list)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure7(fast: bool = False) -> str:
+    rows = exp.figure7(fast=fast)
+    lines = [
+        "Figure 7: Base predictor accuracy comparison (history depth 1, %).",
+        _rule(58),
+        f"{'Application':<14s}" + "".join(f"{p:>10s}" for p in PREDICTORS),
+    ]
+    for app in APP_NAMES:
+        lines.append(
+            f"{app:<14s}"
+            + "".join(f"{rows[app][p]:>10.1f}" for p in PREDICTORS)
+        )
+    means = [
+        sum(rows[app][p] for app in APP_NAMES) / len(APP_NAMES)
+        for p in PREDICTORS
+    ]
+    lines.append(_rule(58))
+    lines.append(f"{'mean':<14s}" + "".join(f"{m:>10.1f}" for m in means))
+    return "\n".join(lines)
+
+
+def render_figure8(fast: bool = False) -> str:
+    rows = exp.figure8(fast=fast)
+    lines = [
+        "Figure 8: Predictor accuracy with varying history depth (%).",
+        _rule(78),
+        f"{'Application':<14s}"
+        + "".join(f"{p + ' d=' + str(d):>12s}" for p in PREDICTORS for d in (1, 2, 4)),
+    ]
+    for app in APP_NAMES:
+        cells = []
+        for predictor in PREDICTORS:
+            for depth in (1, 2, 4):
+                cells.append(f"{rows[app][depth][predictor]:>12.1f}")
+        lines.append(f"{app:<14s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table3(fast: bool = False) -> str:
+    rows = exp.table3(fast=fast)
+    lines = [
+        "Table 3: Messages predicted (and correctly predicted), depth 1 (%).",
+        _rule(62),
+        f"{'Application':<14s}" + "".join(f"{p:>16s}" for p in PREDICTORS),
+    ]
+    for app in APP_NAMES:
+        cells = []
+        for predictor in PREDICTORS:
+            coverage, correct = rows[app][predictor]
+            cells.append(f"{coverage:>8.0f} ({correct:>4.0f})")
+        lines.append(f"{app:<14s}" + "".join(f"{c:>16s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table4(fast: bool = False) -> str:
+    rows = exp.table4(fast=fast)
+    lines = [
+        "Table 4: Predictor storage overhead "
+        "(pattern-table entries per block; bytes at depth 1).",
+        _rule(78),
+        f"{'Application':<14s}"
+        + "".join(
+            f"{p + ' ' + col:>12s}"
+            for p in PREDICTORS
+            for col in ("pte d1", "pte d4", "ovh B")
+        ),
+    ]
+    for app in APP_NAMES:
+        cells = []
+        for predictor in PREDICTORS:
+            data = rows[app][predictor]
+            cells.append(f"{data['pte_d1']:>12.1f}")
+            cells.append(f"{data['pte_d4']:>12.1f}")
+            cells.append(f"{data['ovh_d1']:>12.1f}")
+        lines.append(f"{app:<14s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure9(fast: bool = False) -> str:
+    rows = exp.figure9(fast=fast)
+    lines = [
+        "Figure 9: Execution time normalized to Base-DSM "
+        "(comp incl. sync / request wait, %).",
+        _rule(78),
+        f"{'Application':<14s}"
+        + "".join(f"{mode.value:>20s}" for mode in PAPER_MODES),
+    ]
+    for app in APP_NAMES:
+        cells = []
+        for mode in PAPER_MODES:
+            comp, request = rows[app][mode.value]
+            total = comp + request
+            cells.append(
+                f"{100 * total:>7.0f} ({100 * comp:>3.0f}+{100 * request:>3.0f})"
+            )
+        lines.append(f"{app:<14s}" + "".join(f"{c:>20s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table5(fast: bool = False) -> str:
+    rows = exp.table5(fast=fast)
+    lines = [
+        "Table 5: Frequency of requests, speculations, and misspeculations.",
+        "(reads/writes: Base-DSM counts; other columns: % of Base-DSM requests)",
+        _rule(100),
+        f"{'Application':<14s}{'reads':>8s}{'writes':>8s}"
+        f"{'FR sent':>9s}{'FR miss':>9s}"
+        f"{'swiFR sent':>11s}{'swiFR miss':>11s}"
+        f"{'SWI sent':>9s}{'SWI miss':>9s}"
+        f"{'WI sent':>9s}{'WI miss':>9s}",
+    ]
+    for app in APP_NAMES:
+        row = rows[app]
+        lines.append(
+            f"{app:<14s}{row['reads']:>8.0f}{row['writes']:>8.0f}"
+            f"{row['fr_read_sent']:>9.0f}{row['fr_read_miss']:>9.0f}"
+            f"{row['swi_fr_read_sent']:>11.0f}{row['swi_fr_read_miss']:>11.0f}"
+            f"{row['swi_read_sent']:>9.0f}{row['swi_read_miss']:>9.0f}"
+            f"{row['wi_sent']:>9.0f}{row['wi_miss']:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+RENDERERS = {
+    "table1": render_table1,
+    "table2": render_table2,
+    "figure6": render_figure6,
+    "figure7": render_figure7,
+    "figure8": render_figure8,
+    "table3": render_table3,
+    "table4": render_table4,
+    "figure9": render_figure9,
+    "table5": render_table5,
+}
+
+
+def render(name: str, fast: bool = False) -> str:
+    """Render one experiment as the paper presents it."""
+    try:
+        renderer = RENDERERS[name]
+    except KeyError:
+        known = ", ".join(RENDERERS)
+        raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
+    return renderer(fast=fast)

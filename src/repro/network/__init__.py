@@ -1,0 +1,5 @@
+"""Interconnect model: constant-latency network with NI contention."""
+
+from repro.network.interconnect import Interconnect
+
+__all__ = ["Interconnect"]

@@ -1,0 +1,59 @@
+"""Pattern-based coherence predictors (the paper's core contribution).
+
+* :class:`~repro.predictors.cosmos.Cosmos` — the general message
+  predictor of Mukherjee & Hill (ISCA'98), the paper's baseline: a
+  two-level predictor over *all* coherence messages at the directory.
+* :class:`~repro.predictors.msp.Msp` — the Memory Sharing Predictor:
+  identical structure but only request messages (read/write/upgrade)
+  enter the history and pattern tables (Section 3).
+* :class:`~repro.predictors.vmsp.Vmsp` — the Vector MSP: read-request
+  sequences are folded into reader bit-vectors, eliminating read
+  re-ordering perturbation (Section 3.1).
+
+All three share the accounting interface of
+:class:`~repro.predictors.base.DirectoryPredictor` (per-message
+correct / wrong / unpredicted outcomes) and the Table 4 storage model in
+:mod:`repro.predictors.storage`.
+"""
+
+from repro.predictors.base import (
+    DirectoryPredictor,
+    Outcome,
+    PredictionStats,
+    ReadVector,
+    Token,
+)
+from repro.predictors.cosmos import Cosmos
+from repro.predictors.msp import Msp
+from repro.predictors.storage import StorageProfile, storage_overhead_bytes
+from repro.predictors.swi import EarlyWriteInvalidateTable
+from repro.predictors.vmsp import Vmsp
+
+PREDICTOR_CLASSES = {cls.name: cls for cls in (Cosmos, Msp, Vmsp)}
+
+
+def make_predictor(name: str, depth: int = 1) -> DirectoryPredictor:
+    """Instantiate a predictor by its paper name ('Cosmos'/'MSP'/'VMSP')."""
+    try:
+        cls = PREDICTOR_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(PREDICTOR_CLASSES))
+        raise ValueError(f"unknown predictor {name!r} (known: {known})") from None
+    return cls(depth=depth)
+
+
+__all__ = [
+    "Cosmos",
+    "DirectoryPredictor",
+    "EarlyWriteInvalidateTable",
+    "Msp",
+    "Outcome",
+    "PredictionStats",
+    "PREDICTOR_CLASSES",
+    "ReadVector",
+    "StorageProfile",
+    "Token",
+    "Vmsp",
+    "make_predictor",
+    "storage_overhead_bytes",
+]

@@ -1,0 +1,34 @@
+"""Cosmos — the general message predictor baseline (Mukherjee & Hill).
+
+Cosmos records *every* coherence message arriving at the directory —
+requests and acknowledgements alike — in its per-block history and
+pattern tables.  The paper's Section 3 identifies the consequences this
+reproduction demonstrates empirically: re-ordered invalidation
+acknowledgements perturb the tables, inflate the entry count, and widen
+the token encoding from 2 to 3 type bits.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import Message
+from repro.predictors.base import DirectoryPredictor, Outcome
+from repro.predictors.storage import StorageProfile, general_token_bits
+
+
+class Cosmos(DirectoryPredictor):
+    """Two-level predictor over all directory-arriving messages."""
+
+    name = "Cosmos"
+
+    def observe(self, message: Message) -> Outcome:
+        outcome = self._observe_token(message.block, message.token)
+        self.stats.record(outcome)
+        return outcome
+
+    @classmethod
+    def storage_profile(cls, num_nodes: int, depth: int) -> StorageProfile:
+        token = general_token_bits(num_nodes)
+        return StorageProfile(
+            history_bits=token * depth,
+            pattern_entry_bits=token * depth + token,
+        )

@@ -1,0 +1,38 @@
+"""MSP — the base Memory Sharing Predictor (paper Section 3).
+
+The key observation: to hide remote access latency a predictor only
+needs to predict the *request* messages (read / write / upgrade); the
+acknowledgements are always direct responses to protocol actions and
+carry no information.  MSP therefore filters acks and writebacks out of
+the history and pattern tables, which removes their re-ordering
+perturbation, shrinks the tables, and narrows the type encoding to two
+bits.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import Message
+from repro.predictors.base import DirectoryPredictor, Outcome
+from repro.predictors.storage import StorageProfile, request_token_bits
+
+
+class Msp(DirectoryPredictor):
+    """Two-level predictor over request messages only."""
+
+    name = "MSP"
+
+    def observe(self, message: Message) -> Outcome:
+        if not message.is_request:
+            self.stats.record(Outcome.IGNORED)
+            return Outcome.IGNORED
+        outcome = self._observe_token(message.block, message.token)
+        self.stats.record(outcome)
+        return outcome
+
+    @classmethod
+    def storage_profile(cls, num_nodes: int, depth: int) -> StorageProfile:
+        token = request_token_bits(num_nodes)
+        return StorageProfile(
+            history_bits=token * depth,
+            pattern_entry_bits=token * depth + token,
+        )

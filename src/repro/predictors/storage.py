@@ -1,0 +1,95 @@
+"""Predictor storage-overhead model (paper Section 7.3 / Table 4).
+
+The paper prices table storage for a 16-processor machine as follows
+(history depth one):
+
+* Cosmos encodes 5 message kinds (3 bits) plus a processor id (4 bits):
+  7 bits per token; a history entry is one token (7 bits) and a pattern
+  entry is token + prediction (14 bits), so a block costs
+  ``(7 + 14·pte) / 8`` bytes.
+* MSP encodes 3 request kinds (2 bits) plus a processor id: 6 bits per
+  token; ``(6 + 12·pte) / 8`` bytes.
+* VMSP's read-vector token is 2 + 16 bits; because a vector is always
+  followed by a write or upgrade, a pattern entry contains at most one
+  vector: 18 bits of history and 18 + 6 bits per entry, i.e.
+  ``(18 + 24·pte) / 8`` bytes.
+
+For deeper histories the same token costs apply per history position;
+for VMSP, vectors and write tokens alternate, so at most
+``ceil(k / 2)`` of any ``k`` consecutive tokens are vectors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Message-kind encoding widths (Section 7.3).
+GENERAL_TYPE_BITS = 3  # read, write, upgrade, ack, writeback
+REQUEST_TYPE_BITS = 2  # read, write, upgrade
+
+
+@dataclass(frozen=True, slots=True)
+class StorageProfile:
+    """Bit costs of one history entry and one pattern-table entry."""
+
+    history_bits: int
+    pattern_entry_bits: int
+
+    def bytes_per_block(self, average_pte: float) -> float:
+        """Per-block table storage in bytes for an average entry count."""
+        return (self.history_bits + self.pattern_entry_bits * average_pte) / 8
+
+
+def pid_bits(num_nodes: int) -> int:
+    """Bits to encode a processor id (4 for the paper's 16 nodes)."""
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    return max(1, math.ceil(math.log2(num_nodes)))
+
+
+def general_token_bits(num_nodes: int) -> int:
+    """One Cosmos token: message type + processor id (7 bits at n=16)."""
+    return GENERAL_TYPE_BITS + pid_bits(num_nodes)
+
+
+def request_token_bits(num_nodes: int) -> int:
+    """One MSP token: request type + processor id (6 bits at n=16)."""
+    return REQUEST_TYPE_BITS + pid_bits(num_nodes)
+
+
+def vector_token_bits(num_nodes: int) -> int:
+    """One VMSP vector token: request type + full reader bit-vector."""
+    return REQUEST_TYPE_BITS + num_nodes
+
+
+def vmsp_tokens_bits(num_nodes: int, count: int) -> int:
+    """Worst-case bits for ``count`` consecutive VMSP history tokens.
+
+    Read vectors are always separated by write/upgrade tokens, so at
+    most ``ceil(count / 2)`` of them are vectors.
+    """
+    vectors = math.ceil(count / 2)
+    writes = count - vectors
+    return vectors * vector_token_bits(num_nodes) + writes * request_token_bits(
+        num_nodes
+    )
+
+
+def storage_overhead_bytes(
+    profile: StorageProfile, average_pte: float
+) -> float:
+    """Convenience wrapper matching the paper's 'ovh' column."""
+    return profile.bytes_per_block(average_pte)
+
+
+def vmsp_break_even_readers(num_nodes: int) -> float:
+    """Minimum readers per block for VMSP's encoding to beat MSP's.
+
+    Section 3.1: VMSP's vector is more compact than MSP's individual
+    read entries only when the number of readers exceeds
+    ``(2 + n) / (2 + log n)``.
+    """
+    return (REQUEST_TYPE_BITS + num_nodes) / (
+        REQUEST_TYPE_BITS + pid_bits(num_nodes)
+    )

@@ -1,0 +1,97 @@
+"""Trace-driven protocol emulator.
+
+Turns a per-block :class:`~repro.protocol.epochs.BlockScript` into the
+sequence of coherence messages the block's home directory observes.  The
+sequence includes the three request kinds *and* the acknowledgement
+traffic (invalidation ACKs, WRITEBACKs) that a general message predictor
+such as Cosmos must also predict — together with the two race effects
+the paper identifies:
+
+* read requests inside a racy read epoch arrive in a random permutation
+  (perturbs MSP; eliminated by VMSP's reader vectors), and
+* invalidation acknowledgements for racy readers return in a random
+  permutation (perturbs Cosmos; eliminated by MSP's request filtering).
+
+Races are drawn from a per-block deterministic RNG stream, so results
+are reproducible and independent of block iteration order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatSet
+from repro.common.types import Message, MessageKind, NodeId
+from repro.protocol.directory import BlockDirectory
+from repro.protocol.epochs import BlockScript, ReadEpoch, WriteEpoch
+
+
+class ProtocolEmulator:
+    """Replays block scripts through the directory FSM."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self._rng = rng
+        self.stats = StatSet()
+
+    def messages_for(self, script: BlockScript) -> list[Message]:
+        """The home-directory message stream for one block.
+
+        Invalidation acknowledgements normally return in full-map order
+        — the directory walks its sharer bitmap when sending
+        invalidations, and with minimal queueing the responses come back
+        in the same order (the paper's barnes discussion, Section 7.1).
+        Sharers acquired during a ``racy_acks`` read epoch instead
+        acknowledge in a random permutation.
+        """
+        rng = self._rng.split(f"block-{script.block}")
+        directory = BlockDirectory()
+        # Sharers that will acknowledge a future invalidation in racy order.
+        racy_ack_members: set[NodeId] = set()
+        out: list[Message] = []
+
+        def emit(kind: MessageKind, node: NodeId) -> None:
+            out.append(Message(kind=kind, node=node, block=script.block))
+            self.stats.bump(f"msg_{kind.value}")
+            if kind.is_request:
+                self.stats.bump("requests")
+
+        for epoch in script.epochs:
+            if isinstance(epoch, ReadEpoch):
+                arrival = list(epoch.readers)
+                if epoch.racy and len(arrival) > 1:
+                    rng.shuffle(arrival)
+                for reader in arrival:
+                    transition = directory.read(reader)
+                    if not transition.generated_request:
+                        continue
+                    emit(MessageKind.READ, reader)
+                    if transition.writeback_from is not None:
+                        emit(MessageKind.WRITEBACK, transition.writeback_from)
+                    if epoch.racy_acks:
+                        racy_ack_members.add(reader)
+            elif isinstance(epoch, WriteEpoch):
+                transition = directory.write(epoch.writer)
+                if not transition.generated_request:
+                    continue
+                assert transition.request is not None
+                emit(transition.request, epoch.writer)
+                if transition.writeback_from is not None:
+                    emit(MessageKind.WRITEBACK, transition.writeback_from)
+                if transition.invalidated:
+                    acks = list(transition.invalidated)  # full-map order
+                    if racy_ack_members & set(acks) and len(acks) > 1:
+                        rng.shuffle(acks)
+                    for node in acks:
+                        emit(MessageKind.ACK, node)
+                racy_ack_members.clear()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown epoch type: {epoch!r}")
+        return out
+
+    def run(
+        self, scripts: Iterable[BlockScript]
+    ) -> Iterator[tuple[int, list[Message]]]:
+        """Yield ``(block, messages)`` for every script."""
+        for script in scripts:
+            yield script.block, self.messages_for(script)

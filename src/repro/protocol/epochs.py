@@ -1,0 +1,85 @@
+"""Per-block access scripts consumed by the protocol emulator.
+
+An application kernel describes the lifetime of each shared memory block
+as an ordered list of *epochs*:
+
+* a :class:`WriteEpoch` — one processor stores to the block, and
+* a :class:`ReadEpoch` — a set of processors load the block.
+
+Epochs are ordered by the application's synchronization structure
+(barriers, locks), which is why the emulator may process them strictly
+in sequence.  *Within* a read epoch the arrival order of the read
+requests at the home directory is a race whenever the readers are not
+ordered by the application (``racy=True``); likewise the invalidation
+acknowledgements collected when the next writer invalidates those
+readers race when ``racy_acks=True``.  These two race sources are
+exactly the perturbations the paper's MSP and VMSP eliminate
+(Sections 2.1 and 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.common.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class WriteEpoch:
+    """A single store by ``writer``.
+
+    The emulator derives the request kind from protocol state: a writer
+    that holds a read-only copy issues an UPGRADE, otherwise a WRITE; a
+    writer that already holds the block exclusively issues nothing.
+    """
+
+    writer: NodeId
+
+    def __str__(self) -> str:
+        return f"W(P{self.writer})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEpoch:
+    """Loads by ``readers`` (canonical order) within one sync epoch.
+
+    ``racy``       — read requests arrive at the home in a random
+                     permutation of the canonical order.
+    ``racy_acks``  — when a later write invalidates these readers, their
+                     acknowledgements return in a random permutation.
+    """
+
+    readers: tuple[NodeId, ...]
+    racy: bool = False
+    racy_acks: bool = False
+
+    def __post_init__(self) -> None:
+        if len(set(self.readers)) != len(self.readers):
+            raise ValueError(f"duplicate readers in epoch: {self.readers}")
+
+    def __str__(self) -> str:
+        who = ",".join(f"P{r}" for r in self.readers)
+        flags = "r" if self.racy else ""
+        flags += "a" if self.racy_acks else ""
+        return f"R({who}){('[' + flags + ']') if flags else ''}"
+
+
+Epoch = Union[ReadEpoch, WriteEpoch]
+
+
+@dataclass(slots=True)
+class BlockScript:
+    """The full access history of one block, as a list of epochs."""
+
+    block: int
+    epochs: list[Epoch] = field(default_factory=list)
+
+    def append(self, epoch: Epoch) -> None:
+        self.epochs.append(epoch)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def __iter__(self):
+        return iter(self.epochs)

@@ -1,0 +1,27 @@
+"""Event-driven timing simulator of the speculative coherent DSM."""
+
+from repro.sim.address import AddressSpace, home_of
+from repro.sim.caches import CacheState, ProcessorCache, RemoteCache
+from repro.sim.events import EventQueue
+from repro.sim.home import HomeDirectory, MemRequest
+from repro.sim.machine import Machine, MachineMode, NodeContext, RunResult
+from repro.sim.processor import Processor
+from repro.sim.sync import BarrierManager, LockManager
+
+__all__ = [
+    "AddressSpace",
+    "BarrierManager",
+    "CacheState",
+    "EventQueue",
+    "HomeDirectory",
+    "LockManager",
+    "Machine",
+    "MachineMode",
+    "MemRequest",
+    "NodeContext",
+    "Processor",
+    "ProcessorCache",
+    "RemoteCache",
+    "RunResult",
+    "home_of",
+]

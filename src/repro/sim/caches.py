@@ -1,0 +1,93 @@
+"""Node-side caching state: processor cache and speculative remote cache.
+
+The paper's methodology assumes caches large enough to hold all remote
+data ("we assume a remote cache large enough to hold the remote data",
+Section 6), so both structures here are capacity-unbounded; the remote
+cache's distinguishing job is holding *speculatively pushed* read-only
+copies and their reference bits (Section 4.2) until the processor either
+touches them (verifying the speculation) or an invalidation recalls them
+(exposing a misspeculation via the piggy-backed bit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.types import BlockId
+
+
+class CacheState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+
+
+class ProcessorCache:
+    """Per-processor infinite cache with I/S/E block states."""
+
+    def __init__(self) -> None:
+        self._state: dict[BlockId, CacheState] = {}
+
+    def state_of(self, block: BlockId) -> CacheState:
+        return self._state.get(block, CacheState.INVALID)
+
+    def set_state(self, block: BlockId, state: CacheState) -> None:
+        if state is CacheState.INVALID:
+            self._state.pop(block, None)
+        else:
+            self._state[block] = state
+
+    def invalidate(self, block: BlockId) -> bool:
+        """Drop the block; returns True if a copy was present."""
+        return self._state.pop(block, None) is not None
+
+    def can_read(self, block: BlockId) -> bool:
+        return self.state_of(block) is not CacheState.INVALID
+
+    def can_write(self, block: BlockId) -> bool:
+        return self.state_of(block) is CacheState.EXCLUSIVE
+
+
+@dataclass(slots=True)
+class SpeculativeEntry:
+    """A speculatively delivered read-only copy with its reference bit."""
+
+    referenced: bool = False
+    #: Which trigger pushed the copy ("fr" or "swi") — for Table 5.
+    origin: str = "fr"
+
+
+class RemoteCache:
+    """Holds speculative deliveries until referenced or invalidated."""
+
+    def __init__(self) -> None:
+        self._entries: dict[BlockId, SpeculativeEntry] = {}
+
+    def place(self, block: BlockId, origin: str) -> None:
+        self._entries[block] = SpeculativeEntry(origin=origin)
+
+    def lookup(self, block: BlockId) -> SpeculativeEntry | None:
+        return self._entries.get(block)
+
+    def consume(self, block: BlockId) -> SpeculativeEntry | None:
+        """Reference the block: clear the entry, report what it was."""
+        entry = self._entries.pop(block, None)
+        if entry is not None:
+            entry.referenced = True
+        return entry
+
+    def evict(self, block: BlockId) -> SpeculativeEntry | None:
+        """Invalidation recall: remove and return the entry, if any."""
+        return self._entries.pop(block, None)
+
+    def unreferenced(self) -> list[tuple[BlockId, SpeculativeEntry]]:
+        """Entries never touched (counted as misspeculations at exit)."""
+        return [
+            (block, entry)
+            for block, entry in sorted(self._entries.items())
+            if not entry.referenced
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,46 @@
+"""Discrete-event queue for the timing simulator."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventQueue:
+    """A time-ordered queue of zero-argument callbacks.
+
+    Ties are broken by insertion order, which keeps the simulation
+    deterministic for a fixed workload and seed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, fn))
+        self._sequence += 1
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (time, self._sequence, fn))
+        self._sequence += 1
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed."""
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            time, _seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            processed += 1
+        return processed
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,74 @@
+"""Synchronization primitives of the simulated machine.
+
+Barriers and locks are modeled directly (not through shared-memory
+spinning) — the paper folds barrier and lock waiting into computation
+time in its Figure 9 breakdown, so only the *duration* of waiting
+matters, not its memory traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.common.config import SystemConfig
+from repro.common.types import NodeId
+from repro.sim.events import EventQueue
+
+
+class BarrierManager:
+    """A single global sense-reversing barrier."""
+
+    def __init__(
+        self, num_procs: int, config: SystemConfig, events: EventQueue
+    ) -> None:
+        self._num_procs = num_procs
+        self._config = config
+        self._events = events
+        self._waiting: list[Callable[[], None]] = []
+
+    def arrive(self, proc: NodeId, resume: Callable[[], None]) -> None:
+        """Block ``proc``; release everyone once all have arrived."""
+        del proc
+        self._waiting.append(resume)
+        if len(self._waiting) < self._num_procs:
+            return
+        waiters, self._waiting = self._waiting, []
+        for resume_fn in waiters:
+            self._events.schedule(self._config.barrier_release_cycles, resume_fn)
+
+
+class LockManager:
+    """FIFO spin locks, granted in request-arrival order."""
+
+    def __init__(self, config: SystemConfig, events: EventQueue) -> None:
+        self._config = config
+        self._events = events
+        self._holder: dict[int, NodeId] = {}
+        self._queues: dict[int, deque[tuple[NodeId, Callable[[], None]]]] = {}
+
+    def acquire(
+        self, lock: int, proc: NodeId, granted: Callable[[], None]
+    ) -> None:
+        if lock not in self._holder:
+            self._holder[lock] = proc
+            self._events.schedule(self._config.lock_acquire_cycles, granted)
+            return
+        self._queues.setdefault(lock, deque()).append((proc, granted))
+
+    def release(self, lock: int, proc: NodeId) -> None:
+        holder = self._holder.get(lock)
+        if holder != proc:
+            raise RuntimeError(
+                f"P{proc} released lock {lock} held by {holder!r}"
+            )
+        queue = self._queues.get(lock)
+        if queue:
+            next_proc, granted = queue.popleft()
+            self._holder[lock] = next_proc
+            self._events.schedule(self._config.lock_acquire_cycles, granted)
+        else:
+            del self._holder[lock]
+
+    def holder_of(self, lock: int) -> NodeId | None:
+        return self._holder.get(lock)

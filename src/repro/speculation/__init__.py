@@ -1,0 +1,22 @@
+"""Speculative coherence machinery (paper Section 4).
+
+The :class:`~repro.speculation.engine.SpeculationEngine` attaches a
+VMSP to each home directory and *advises* the stock protocol:
+
+* **First-Read (FR)** — the first read of a predicted read sequence
+  triggers forwarding of read-only copies to the remaining predicted
+  readers;
+* **Speculative Write-Invalidation (SWI)** — a processor's write to a
+  new block predicts it is done writing the previous one; the engine
+  recalls that writable copy early and forwards it to the predicted
+  readers, falling back to FR when SWI is suppressed or fails.
+
+Verification uses the remote-cache reference bits: an invalidation that
+finds the bit still set reports a misspeculation, which removes the
+offending pattern entry (and, for SWI, sets the premature-invalidation
+suppression bit).
+"""
+
+from repro.speculation.engine import SpeculationEngine, SpeculationStats
+
+__all__ = ["SpeculationEngine", "SpeculationStats"]

@@ -1,0 +1,122 @@
+"""Tests for the Section 5 analytic model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic.model import (
+    FIGURE6_SWEEPS,
+    SpeculationModel,
+    communication_ratios,
+    communication_speedup,
+    figure6_panel,
+    figure6_panels,
+    speedup,
+)
+
+probabilities = st.floats(0.0, 1.0, allow_nan=False)
+rtls = st.floats(1.0, 64.0, allow_nan=False)
+penalties = st.floats(1.0, 16.0, allow_nan=False)  # n >= 1: a misspeculation costs at least one remote access
+
+
+class TestEquationOne:
+    def test_no_speculation_means_no_change(self):
+        assert communication_speedup(f=0.0, p=0.5, rtl=4, n=2) == 1.0
+
+    def test_perfect_speculation_gives_rtl(self):
+        # p=1, f=1: every remote access becomes local -> speedup = rtl.
+        assert communication_speedup(f=1.0, p=1.0, rtl=4, n=2) == pytest.approx(4.0)
+        assert communication_speedup(f=1.0, p=1.0, rtl=8, n=2) == pytest.approx(8.0)
+
+    def test_always_wrong_speculation_slows_by_penalty(self):
+        assert communication_speedup(f=1.0, p=0.0, rtl=4, n=2) == pytest.approx(0.5)
+
+    @given(probabilities, rtls)
+    def test_monotone_in_accuracy(self, p, rtl):
+        lo = communication_speedup(f=1.0, p=p * 0.5, rtl=rtl, n=2)
+        hi = communication_speedup(f=1.0, p=0.5 + p * 0.5, rtl=rtl, n=2)
+        assert hi >= lo - 1e-12
+
+    @given(probabilities, probabilities)
+    def test_speedup_positive(self, f, p):
+        assert communication_speedup(f=f, p=p, rtl=4, n=2) > 0
+
+
+class TestEquationTwo:
+    def test_no_communication_means_no_speedup(self):
+        assert speedup(c=0.0, f=1.0, p=1.0, rtl=4, n=2) == 1.0
+
+    def test_fully_communication_bound_equals_comm_speedup(self):
+        comm = communication_speedup(f=1.0, p=0.9, rtl=4, n=2)
+        assert speedup(c=1.0, f=1.0, p=0.9, rtl=4, n=2) == pytest.approx(comm)
+
+    def test_paper_observation_p70_caps_around_25_percent(self):
+        # Section 5: "p of 70% at best speeds up the execution by 25%"
+        # (the prose rounds; the closed form gives ~29%).
+        best = speedup(c=1.0, f=1.0, p=0.7, rtl=4, n=2)
+        assert best == pytest.approx(1.29, abs=0.01)
+
+    def test_low_accuracy_slows_down(self):
+        for p in (0.1, 0.3, 0.5):
+            assert speedup(c=1.0, f=1.0, p=p, rtl=4, n=2) < 1.0
+
+    @given(probabilities, probabilities, probabilities, rtls, penalties)
+    def test_bounded_by_rtl(self, c, f, p, rtl, n):
+        assert speedup(c=c, f=f, p=p, rtl=rtl, n=n) <= rtl + 1e-9
+
+    @given(probabilities)
+    def test_monotone_in_communication_when_helping(self, c):
+        # With a helpful configuration, more communication -> more gain.
+        lo = speedup(c=c * 0.5, f=1.0, p=0.95, rtl=4, n=2)
+        hi = speedup(c=0.5 + c * 0.5, f=1.0, p=0.95, rtl=4, n=2)
+        assert hi >= lo - 1e-12
+
+
+class TestSpeculationModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculationModel(c=1.5)
+        with pytest.raises(ValueError):
+            SpeculationModel(rtl=0.5)
+        with pytest.raises(ValueError):
+            SpeculationModel(n=-1.0)
+
+    def test_with_override(self):
+        base = SpeculationModel()
+        faster = base.with_(rtl=8.0)
+        assert faster.rtl == 8.0
+        assert base.rtl == 4.0
+
+    def test_methods_match_functions(self):
+        model = SpeculationModel(c=0.6, f=0.8, p=0.9, rtl=4, n=2)
+        assert model.speedup() == speedup(c=0.6, f=0.8, p=0.9, rtl=4, n=2)
+
+
+class TestFigure6:
+    def test_four_panels(self):
+        assert set(figure6_panels(points=3)) == set(FIGURE6_SWEEPS)
+
+    def test_panel_series_lengths(self):
+        series = figure6_panel("accuracy", points=5)
+        assert set(series) == {1.0, 0.9, 0.7, 0.5, 0.3, 0.1}
+        for points in series.values():
+            assert len(points) == 5
+
+    def test_rtl_panel_matches_named_machines(self):
+        series = figure6_panel("rtl", points=3)
+        assert set(series) == {8.0, 4.0, 2.0}
+
+    def test_higher_accuracy_series_dominates(self):
+        series = figure6_panel("accuracy", points=9)
+        for (_c, hi), (_c2, lo) in zip(series[0.9], series[0.7]):
+            assert hi >= lo
+
+    def test_unknown_panel_raises(self):
+        with pytest.raises(ValueError, match="unknown panel"):
+            figure6_panel("bogus")
+
+    def test_communication_ratio_axis(self):
+        axis = communication_ratios(5)
+        assert axis == [0.0, 0.25, 0.5, 0.75, 1.0]
+        with pytest.raises(ValueError):
+            communication_ratios(1)

@@ -1,0 +1,58 @@
+"""Tests for the Table 1 system configuration."""
+
+import pytest
+
+from repro.common.config import SystemConfig, table1_rows
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper_table1(self):
+        cfg = SystemConfig()
+        assert cfg.num_nodes == 16
+        assert cfg.processor_mhz == 600
+        assert cfg.processor_cache_bytes == 1 << 20
+        assert cfg.memory_bus_mhz == 100
+        assert cfg.local_access_cycles == 104
+        assert cfg.network_cycles == 80
+
+    def test_round_trip_is_418_cycles(self):
+        assert SystemConfig().round_trip_cycles == 418
+
+    def test_rtl_is_about_four(self):
+        assert SystemConfig().remote_to_local_ratio == pytest.approx(4.0, abs=0.1)
+
+    def test_block_and_page_sizes(self):
+        cfg = SystemConfig()
+        assert cfg.block_bytes == 32
+        assert cfg.blocks_per_page == cfg.page_bytes // cfg.block_bytes
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_nodes=1)
+
+    def test_rejects_misaligned_page(self):
+        with pytest.raises(ValueError):
+            SystemConfig(block_bytes=48, page_bytes=100)
+
+    def test_home_of_covers_all_nodes(self):
+        cfg = SystemConfig(num_nodes=4)
+        from repro.common.config import HOME_SHIFT
+
+        homes = {cfg.home_of(n << HOME_SHIFT) for n in range(4)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_custom_latency_changes_round_trip(self):
+        cfg = SystemConfig(network_cycles=10)
+        assert cfg.round_trip_cycles == 2 * (25 + 10) + 2 * 104
+
+
+class TestTable1Rows:
+    def test_has_all_eight_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+
+    def test_values_render_paper_numbers(self):
+        rendered = dict(table1_rows())
+        assert rendered["Number of nodes"] == "16"
+        assert rendered["Round-trip miss latency"] == "418 cycles"
+        assert rendered["Remote-to-local access ratio (rtl)"] == "~4"

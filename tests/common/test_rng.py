@@ -1,0 +1,63 @@
+"""Tests for deterministic, splittable randomness."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(1)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_split_streams_are_independent_of_consumption(self):
+        root = DeterministicRng(5)
+        early = root.split("x").random()
+        for _ in range(100):
+            root.random()
+        late = root.split("x").random()
+        assert early == late
+
+    def test_split_labels_distinguish(self):
+        root = DeterministicRng(5)
+        assert root.split("a").random() != root.split("b").random()
+
+    def test_nested_split_path(self):
+        root = DeterministicRng(5)
+        assert root.split("a").split("b").label == "root/a/b"
+
+
+class TestHelpers:
+    def test_shuffled_leaves_input_untouched(self):
+        rng = DeterministicRng(9)
+        items = [1, 2, 3, 4, 5]
+        out = rng.shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(9)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_randint_within_bounds(self, high):
+        rng = DeterministicRng(3)
+        for _ in range(20):
+            assert 0 <= rng.randint(0, high) <= high
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20), st.integers(0, 2**32))
+    def test_sample_is_subset(self, items, seed):
+        rng = DeterministicRng(seed)
+        k = len(items) // 2
+        sampled = rng.sample(items, k)
+        assert len(sampled) == k
+        for item in sampled:
+            assert item in items

@@ -1,0 +1,62 @@
+"""Tests for counters and stat sets."""
+
+from repro.common.stats import Counter, StatSet
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_add_and_reset(self):
+        counter = Counter()
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_int_conversion(self):
+        counter = Counter(7)
+        assert int(counter) == 7
+
+
+class TestStatSet:
+    def test_missing_counter_reads_zero(self):
+        assert StatSet()["anything"] == 0
+
+    def test_bump_accumulates(self):
+        stats = StatSet()
+        stats.bump("x")
+        stats.bump("x", 2)
+        assert stats["x"] == 3
+
+    def test_contains(self):
+        stats = StatSet()
+        stats.bump("seen")
+        assert "seen" in stats
+        assert "unseen" not in stats
+
+    def test_ratio(self):
+        stats = StatSet()
+        stats.bump("hit", 3)
+        stats.bump("total", 4)
+        assert stats.ratio("hit", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert StatSet().ratio("a", "b") == 0.0
+
+    def test_merge(self):
+        a, b = StatSet(), StatSet()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 5)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 5
+
+    def test_as_dict_snapshot(self):
+        stats = StatSet()
+        stats.bump("k")
+        snapshot = stats.as_dict()
+        stats.bump("k")
+        assert snapshot == {"k": 1}

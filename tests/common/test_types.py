@@ -1,0 +1,65 @@
+"""Tests for the core message/access vocabulary."""
+
+import pytest
+
+from repro.common.types import (
+    ACK_KINDS,
+    REQUEST_KINDS,
+    DirectoryState,
+    Message,
+    MessageKind,
+)
+
+
+class TestMessageKind:
+    def test_request_kinds_are_exactly_three(self):
+        assert REQUEST_KINDS == {
+            MessageKind.READ,
+            MessageKind.WRITE,
+            MessageKind.UPGRADE,
+        }
+
+    def test_ack_kinds_are_exactly_two(self):
+        assert ACK_KINDS == {MessageKind.ACK, MessageKind.WRITEBACK}
+
+    def test_kind_partition_is_total_and_disjoint(self):
+        assert REQUEST_KINDS | ACK_KINDS == set(MessageKind)
+        assert not REQUEST_KINDS & ACK_KINDS
+
+    @pytest.mark.parametrize("kind", sorted(REQUEST_KINDS, key=lambda k: k.value))
+    def test_is_request_flag(self, kind):
+        assert kind.is_request
+        assert not kind.is_ack
+
+    @pytest.mark.parametrize("kind", sorted(ACK_KINDS, key=lambda k: k.value))
+    def test_is_ack_flag(self, kind):
+        assert kind.is_ack
+        assert not kind.is_request
+
+
+class TestMessage:
+    def test_token_excludes_block(self):
+        message = Message(kind=MessageKind.READ, node=4, block=0x100)
+        assert message.token == (MessageKind.READ, 4)
+
+    def test_messages_compare_by_value(self):
+        a = Message(kind=MessageKind.ACK, node=1, block=7)
+        b = Message(kind=MessageKind.ACK, node=1, block=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_request_delegates_to_kind(self):
+        request = Message(kind=MessageKind.UPGRADE, node=0, block=1)
+        ack = Message(kind=MessageKind.WRITEBACK, node=0, block=1)
+        assert request.is_request
+        assert not ack.is_request
+
+    def test_str_shows_kind_node_and_block(self):
+        message = Message(kind=MessageKind.READ, node=3, block=0x10)
+        assert "read" in str(message)
+        assert "P3" in str(message)
+
+
+class TestDirectoryState:
+    def test_three_stable_states(self):
+        assert {s.name for s in DirectoryState} == {"IDLE", "SHARED", "EXCLUSIVE"}

@@ -1,0 +1,32 @@
+"""Shared fixtures for the reproduction's test suite."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.protocol.epochs import BlockScript, ReadEpoch, WriteEpoch
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(2024, "tests")
+
+
+@pytest.fixture
+def producer_consumer_script() -> BlockScript:
+    """P3 writes, P1/P2 read — the paper's running example (10 rounds)."""
+    script = BlockScript(block=0x100)
+    for _ in range(10):
+        script.append(WriteEpoch(writer=3))
+        script.append(ReadEpoch(readers=(1, 2)))
+    return script
+
+
+@pytest.fixture
+def migratory_script() -> BlockScript:
+    """Read+write visits rotating over three processors (10 rounds)."""
+    script = BlockScript(block=0x200)
+    for _ in range(10):
+        for visitor in (0, 1, 2):
+            script.append(ReadEpoch(readers=(visitor,)))
+            script.append(WriteEpoch(writer=visitor))
+    return script

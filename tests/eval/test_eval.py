@@ -1,0 +1,110 @@
+"""Tests for the experiment drivers, renderers, and CLI."""
+
+import pytest
+
+from repro.eval.accuracy import run_predictors
+from repro.eval.cli import main as cli_main
+from repro.eval.experiments import EXPERIMENTS, run_experiment, table1, table2
+from repro.eval.performance import run_speculation
+from repro.eval.reporting import RENDERERS, render
+from repro.eval.performance import PAPER_MODES
+from repro.sim.machine import MachineMode
+
+
+class TestRunPredictors:
+    def test_all_three_predictors_trained_on_same_trace(self):
+        runs = run_predictors("em3d", depth=1, iterations=6)
+        assert set(runs) == {"Cosmos", "MSP", "VMSP"}
+        observed = {run.stats.observed + run.stats.ignored for run in runs.values()}
+        assert len(observed) == 1  # identical message streams
+
+    def test_depth_recorded(self):
+        runs = run_predictors("tomcatv", depth=2, iterations=4)
+        assert all(run.depth == 2 for run in runs.values())
+
+    def test_overhead_consistent_with_pte(self):
+        runs = run_predictors("em3d", depth=1, iterations=6)
+        msp = runs["MSP"]
+        assert msp.overhead_bytes == pytest.approx(
+            (6 + 12 * msp.average_pte) / 8
+        )
+
+    def test_custom_predictor_subset(self):
+        runs = run_predictors("ocean", predictors=("VMSP",), iterations=4)
+        assert set(runs) == {"VMSP"}
+
+
+class TestRunSpeculation:
+    @pytest.fixture(scope="class")
+    def em3d_run(self):
+        return run_speculation("em3d", iterations=6)
+
+    def test_all_modes_present(self, em3d_run):
+        assert em3d_run.base.mode is MachineMode.BASE
+        assert em3d_run.fr.mode is MachineMode.FR
+        assert em3d_run.swi.mode is MachineMode.SWI
+
+    def test_base_normalizes_to_one(self, em3d_run):
+        assert em3d_run.normalized_time(MachineMode.BASE) == 1.0
+
+    def test_breakdown_sums_to_normalized_time(self, em3d_run):
+        for mode in PAPER_MODES:
+            comp, request = em3d_run.breakdown(mode)
+            assert comp + request == pytest.approx(
+                em3d_run.normalized_time(mode)
+            )
+
+    def test_table5_row_fields(self, em3d_run):
+        row = em3d_run.table5_row()
+        assert row["reads"] > 0 and row["writes"] > 0
+        for key in ("fr_read_sent", "swi_read_sent", "wi_sent", "wi_miss"):
+            assert 0.0 <= row[key] <= 150.0
+
+
+class TestExperimentDrivers:
+    def test_every_experiment_has_a_renderer(self):
+        assert set(EXPERIMENTS) == set(RENDERERS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("figure99")
+
+    def test_table1_rows(self):
+        rows = dict(table1())
+        assert rows["Number of nodes"] == "16"
+
+    def test_table2_rows(self):
+        assert len(table2()) == 7
+
+    def test_figure6_fast(self):
+        panels = run_experiment("figure6", fast=True)
+        assert set(panels) == {"accuracy", "penalty", "fraction", "rtl"}
+
+
+@pytest.mark.slow
+class TestRenderers:
+    @pytest.mark.parametrize("name", ["table1", "table2", "figure6"])
+    def test_cheap_renderers(self, name):
+        text = render(name, fast=True)
+        assert text.splitlines()
+
+    def test_figure7_renderer_lists_all_apps(self):
+        text = render("figure7", fast=True)
+        for app in ("appbt", "unstructured", "mean"):
+            assert app in text
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out and "table5" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["not-an-experiment"])
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "418 cycles" in out

@@ -1,0 +1,38 @@
+"""Whole-pipeline determinism: identical seeds give identical results."""
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.eval.accuracy import run_predictors
+from repro.eval.performance import run_speculation
+from repro.eval.performance import PAPER_MODES
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_predictor_pipeline_is_reproducible(app):
+    a = run_predictors(app, depth=1, iterations=4)
+    b = run_predictors(app, depth=1, iterations=4)
+    for predictor in a:
+        assert a[predictor].stats == b[predictor].stats
+        assert a[predictor].average_pte == b[predictor].average_pte
+
+
+@pytest.mark.parametrize("app", ["em3d", "ocean"])
+def test_speculation_pipeline_is_reproducible(app):
+    a = run_speculation(app, iterations=4)
+    b = run_speculation(app, iterations=4)
+    for mode in PAPER_MODES:
+        assert a.result(mode).cycles == b.result(mode).cycles
+        assert a.result(mode).counters == b.result(mode).counters
+
+
+def test_different_race_seeds_change_racy_outcomes():
+    a = run_predictors("unstructured", depth=1, iterations=6, race_seed=1)
+    b = run_predictors("unstructured", depth=1, iterations=6, race_seed=2)
+    assert a["MSP"].stats.correct != b["MSP"].stats.correct
+
+
+def test_race_seed_does_not_change_request_totals():
+    a = run_predictors("unstructured", depth=1, iterations=6, race_seed=1)
+    b = run_predictors("unstructured", depth=1, iterations=6, race_seed=2)
+    assert a["MSP"].stats.observed == b["MSP"].stats.observed

@@ -1,0 +1,96 @@
+"""Deeper-history semantics shared by all predictors."""
+
+import pytest
+
+from repro.common.types import Message, MessageKind
+from repro.predictors import Cosmos, Msp, Vmsp
+from repro.predictors.base import Outcome, ReadVector
+
+BLOCK = 7
+R, W, U = MessageKind.READ, MessageKind.WRITE, MessageKind.UPGRADE
+
+
+def feed(predictor, sequence):
+    return [
+        predictor.observe(Message(kind=kind, node=node, block=BLOCK))
+        for kind, node in sequence
+    ]
+
+
+class TestHistoryWindow:
+    @pytest.mark.parametrize("cls", [Cosmos, Msp])
+    def test_no_predictions_until_history_fills(self, cls):
+        predictor = cls(depth=3)
+        outcomes = feed(predictor, [(W, 0), (W, 1), (W, 2)])
+        assert all(o is Outcome.UNPREDICTED for o in outcomes)
+        assert predictor.stats.predicted == 0
+
+    @pytest.mark.parametrize("cls", [Cosmos, Msp])
+    def test_history_keeps_last_d_tokens(self, cls):
+        predictor = cls(depth=2)
+        feed(predictor, [(W, 0), (W, 1), (W, 2)])
+        assert predictor.current_history(BLOCK) == ((W, 1), (W, 2))
+
+    def test_vmsp_history_holds_vectors(self):
+        predictor = Vmsp(depth=2)
+        feed(predictor, [(W, 0), (R, 1), (R, 2), (U, 0)])
+        history = predictor.current_history(BLOCK)
+        assert history == (ReadVector(frozenset({1, 2})), (U, 0))
+
+    def test_vmsp_depth2_separates_alternating_vectors(self):
+        predictor = Vmsp(depth=2)
+        # Parity pattern: readers {1} and {2} alternate after the same
+        # writer; depth 2 keys include the previous vector, so both
+        # patterns coexist.
+        pattern = [(W, 0), (R, 1), (W, 0), (R, 2)]
+        feed(predictor, pattern * 6)
+        outcomes = feed(predictor, pattern)
+        reads = [o for o, (kind, _n) in zip(outcomes, pattern) if kind is R]
+        assert all(o is Outcome.CORRECT for o in reads)
+
+    def test_vmsp_depth1_cannot_separate_them(self):
+        predictor = Vmsp(depth=1)
+        pattern = [(W, 0), (R, 1), (W, 0), (R, 2)]
+        feed(predictor, pattern * 6)
+        outcomes = feed(predictor, pattern)
+        reads = [o for o, (kind, _n) in zip(outcomes, pattern) if kind is R]
+        assert all(o is Outcome.WRONG for o in reads)
+
+    @pytest.mark.parametrize("cls", [Cosmos, Msp, Vmsp])
+    def test_deeper_tables_grow_keys_not_shrink(self, cls):
+        trace = [(W, 0), (R, 1), (R, 2), (W, 3), (R, 1)] * 6
+        shallow, deep = cls(depth=1), cls(depth=2)
+        feed(shallow, trace)
+        feed(deep, trace)
+        for predictor in (shallow, deep):
+            flush = getattr(predictor, "flush", None)
+            if flush:
+                flush()
+        assert deep.pattern_entry_count(BLOCK) >= 1
+
+
+class TestPerBlockIsolation:
+    @pytest.mark.parametrize("cls", [Cosmos, Msp, Vmsp])
+    def test_blocks_do_not_share_tables(self, cls):
+        predictor = cls(depth=1)
+        a = [Message(kind=W, node=0, block=1), Message(kind=R, node=1, block=1)]
+        b = [Message(kind=W, node=0, block=2), Message(kind=R, node=2, block=2)]
+        for message in a * 3 + b * 3:
+            predictor.observe(message)
+        assert predictor.pattern_entry_count(1) >= 1
+        assert predictor.pattern_entry_count(2) >= 1
+        assert set(predictor.allocated_blocks()) == {1, 2}
+
+    def test_average_pattern_entries_over_allocated_blocks(self):
+        predictor = Msp(depth=1)
+        for message in (
+            Message(kind=W, node=0, block=1),
+            Message(kind=R, node=1, block=1),
+            Message(kind=W, node=0, block=2),
+        ):
+            predictor.observe(message)
+        # block 1 has one entry, block 2 has none yet.
+        assert predictor.average_pattern_entries() == pytest.approx(0.5)
+
+    def test_empty_predictor_average_is_zero(self):
+        assert Vmsp(depth=1).average_pattern_entries() == 0.0

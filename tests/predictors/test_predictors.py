@@ -1,0 +1,277 @@
+"""Tests for the Cosmos / MSP / VMSP predictors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.common.types import Message, MessageKind
+from repro.predictors import Cosmos, Msp, Vmsp, make_predictor
+from repro.predictors.base import Outcome, ReadVector
+from repro.protocol.emulator import ProtocolEmulator
+from repro.protocol.epochs import BlockScript, ReadEpoch, WriteEpoch
+
+BLOCK = 0x40
+
+
+def msg(kind, node, block=BLOCK):
+    return Message(kind=kind, node=node, block=block)
+
+
+def feed(predictor, sequence, block=BLOCK):
+    outcomes = []
+    for kind, node in sequence:
+        outcomes.append(predictor.observe(msg(kind, node, block)))
+    return outcomes
+
+
+R, W, U = MessageKind.READ, MessageKind.WRITE, MessageKind.UPGRADE
+A, B = MessageKind.ACK, MessageKind.WRITEBACK
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("Cosmos", Cosmos), ("MSP", Msp), ("VMSP", Vmsp)])
+    def test_make_predictor(self, name, cls):
+        predictor = make_predictor(name, depth=2)
+        assert isinstance(predictor, cls)
+        assert predictor.depth == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("Oracle")
+
+    @pytest.mark.parametrize("cls", [Cosmos, Msp, Vmsp])
+    def test_rejects_zero_depth(self, cls):
+        with pytest.raises(ValueError):
+            cls(depth=0)
+
+
+class TestCosmos:
+    def test_learns_repeating_message_cycle(self):
+        predictor = Cosmos(depth=1)
+        cycle = [(W, 3), (A, 1), (A, 2), (R, 1), (R, 2)]
+        feed(predictor, cycle * 2)  # training passes
+        outcomes = feed(predictor, cycle)
+        assert all(o is Outcome.CORRECT for o in outcomes)
+
+    def test_predicts_acks_too(self):
+        predictor = Cosmos(depth=1)
+        feed(predictor, [(W, 3), (A, 1), (W, 3)])
+        assert predictor.predicted_next(BLOCK) == (A, 1)
+
+    def test_reordered_acks_perturb(self):
+        predictor = Cosmos(depth=1)
+        feed(predictor, [(W, 3), (A, 1), (A, 2), (W, 3), (A, 2)])
+        # Trained W->ack1, but ack2 arrived: the last ack observation
+        # was scored WRONG.
+        assert predictor.stats.wrong >= 1
+
+
+class TestMsp:
+    def test_ignores_acknowledgements(self):
+        predictor = Msp(depth=1)
+        outcomes = feed(predictor, [(W, 3), (A, 1), (B, 2), (R, 1)])
+        assert outcomes[1] is Outcome.IGNORED
+        assert outcomes[2] is Outcome.IGNORED
+        assert predictor.stats.ignored == 2
+        assert predictor.stats.observed == 2
+
+    def test_ack_reordering_cannot_perturb(self):
+        stable = Msp(depth=1)
+        perturbed = Msp(depth=1)
+        feed(stable, [(W, 3), (A, 1), (A, 2), (R, 1), (R, 2)] * 5)
+        feed(perturbed, [(W, 3), (A, 2), (A, 1), (R, 1), (R, 2)] * 5)
+        assert stable.stats.accuracy == perturbed.stats.accuracy
+
+    def test_read_reordering_does_perturb(self):
+        predictor = Msp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)] * 3)
+        trained = predictor.stats.accuracy
+        feed(predictor, [(W, 3), (R, 2), (R, 1)])
+        assert predictor.stats.accuracy < trained
+
+    def test_deeper_history_learns_alternation(self):
+        # Alternating consumers: W,Ra,W,Rb — the appbt edge pattern.
+        pattern = [(W, 0), (R, 1), (W, 0), (R, 2)]
+        shallow, deep = Msp(depth=1), Msp(depth=2)
+        for predictor in (shallow, deep):
+            feed(predictor, pattern * 8)
+        assert deep.stats.accuracy > shallow.stats.accuracy
+        # With depth 2 the steady-state alternation is fully predictable.
+        tail = Msp(depth=2)
+        feed(tail, pattern * 8)
+        outcomes = feed(tail, pattern)
+        assert all(o is Outcome.CORRECT for o in outcomes)
+
+
+class TestVmsp:
+    def test_vector_prediction_ignores_read_order(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)] * 2)
+        outcomes = feed(predictor, [(W, 3), (R, 2), (R, 1)])
+        read_outcomes = outcomes[1:]
+        assert all(o is Outcome.CORRECT for o in read_outcomes)
+
+    def test_read_outside_vector_is_wrong(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)] * 2 + [(W, 3)])
+        assert predictor.observe(msg(R, 7)) is Outcome.WRONG
+
+    def test_duplicate_reader_is_wrong(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)] * 2 + [(W, 3), (R, 1)])
+        # P1 already read in this run; the vector predicts P2 next.
+        history = predictor.current_history(BLOCK)
+        assert predictor.observe(msg(R, 1)) is Outcome.WRONG
+
+    def test_vector_entry_learned_on_close(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2), (U, 3)])
+        predicted = predictor.predicted_next(BLOCK)
+        # After the upgrade the history key is the upgrade token, whose
+        # successor is not yet known.
+        assert predicted is None
+        # But the vector entry exists for the write key.
+        assert predictor.pattern_entry_count(BLOCK) >= 1
+
+    def test_flush_commits_open_run(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)])
+        before = predictor.pattern_entry_count(BLOCK)
+        predictor.flush()
+        assert predictor.pattern_entry_count(BLOCK) == before + 1
+
+    def test_predicted_read_vector_excludes_seen_readers(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (R, 2)] * 2 + [(W, 3), (R, 1)])
+        remaining = predictor.predicted_read_vector(BLOCK)
+        assert remaining == frozenset({2})
+
+    def test_observe_speculative_read_joins_run(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3)])
+        predictor.observe_speculative_read(BLOCK, 5)
+        assert predictor.open_run(BLOCK) == frozenset({5})
+
+    def test_ignores_acks(self):
+        predictor = Vmsp(depth=1)
+        assert predictor.observe(msg(A, 1)) is Outcome.IGNORED
+
+
+class TestConfidence:
+    def test_thrashing_entry_loses_confidence(self):
+        predictor = Vmsp(depth=1)
+        # Successor of the write alternates between disjoint singleton
+        # vectors (the ocean reduction pattern).
+        feed(predictor, [(W, 0), (R, 1), (W, 0), (R, 2), (W, 0), (R, 3), (W, 0)])
+        assert predictor.predicted_read_vector(BLOCK) is None
+
+    def test_stable_entry_keeps_confidence(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 0), (R, 1), (R, 2)] * 4 + [(W, 0)])
+        assert predictor.predicted_read_vector(BLOCK) == frozenset({1, 2})
+
+    def test_similar_vectors_sustain_confidence(self):
+        predictor = Vmsp(depth=1)
+        # 4-member vectors differing in one member: similar enough.
+        feed(predictor, [(W, 0), (R, 1), (R, 2), (R, 3), (R, 4)])
+        feed(predictor, [(W, 0), (R, 1), (R, 2), (R, 3), (R, 5)])
+        feed(predictor, [(W, 0)])
+        assert predictor.predicted_read_vector(BLOCK) is not None
+
+
+class TestRemoveEntry:
+    def test_removal_needs_matching_value(self):
+        predictor = Vmsp(depth=1)
+        feed(predictor, [(W, 3), (R, 1), (W, 3)])
+        history = ((W, 3),)
+        stale = ReadVector(frozenset({9}))
+        assert not predictor.remove_entry(BLOCK, history, expected=stale)
+        current = ReadVector(frozenset({1}))
+        assert predictor.remove_entry(BLOCK, history, expected=current)
+
+    def test_unconditional_removal(self):
+        predictor = Msp(depth=1)
+        feed(predictor, [(W, 3), (R, 1)])
+        assert predictor.remove_entry(BLOCK, ((W, 3),))
+        assert not predictor.remove_entry(BLOCK, ((W, 3),))
+
+
+class TestStatsAccounting:
+    def test_unpredicted_first_occurrences(self):
+        predictor = Msp(depth=1)
+        outcomes = feed(predictor, [(W, 3), (R, 1), (W, 3)])
+        assert outcomes[0] is Outcome.UNPREDICTED  # empty history
+        assert outcomes[1] is Outcome.UNPREDICTED  # first key use
+        assert predictor.stats.coverage < 1.0
+
+    def test_accuracy_bounds(self):
+        predictor = Cosmos(depth=1)
+        feed(predictor, [(W, 1), (R, 2)] * 10)
+        assert 0.0 <= predictor.stats.accuracy <= 1.0
+        assert 0.0 <= predictor.stats.coverage <= 1.0
+        assert predictor.stats.correct_fraction <= predictor.stats.coverage
+
+    def test_merged_with(self):
+        a, b = Msp(depth=1), Msp(depth=1)
+        feed(a, [(W, 1), (R, 2)] * 4)
+        feed(b, [(W, 1), (R, 2)] * 4, block=BLOCK + 1)
+        merged = a.stats.merged_with(b.stats)
+        assert merged.observed == a.stats.observed + b.stats.observed
+        assert merged.correct == a.stats.correct + b.stats.correct
+
+
+# ----------------------------------------------------------------------
+# cross-predictor properties on emulated protocol traces
+# ----------------------------------------------------------------------
+def _emulated_messages(num_iterations, readers, racy, seed):
+    script = BlockScript(block=1)
+    for _ in range(num_iterations):
+        script.append(WriteEpoch(writer=0))
+        script.append(ReadEpoch(readers=readers, racy=racy, racy_acks=racy))
+    return ProtocolEmulator(DeterministicRng(seed)).messages_for(script)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(3, 12),
+    st.lists(st.integers(1, 7), min_size=1, max_size=4, unique=True).map(tuple),
+    st.booleans(),
+    st.integers(0, 999),
+)
+def test_vmsp_never_below_msp_on_producer_consumer(iters, readers, racy, seed):
+    """Order-insensitive vectors cannot lose to ordered read entries on
+    a stable producer/consumer pattern."""
+    messages = _emulated_messages(iters, readers, racy, seed)
+    msp, vmsp = Msp(depth=1), Vmsp(depth=1)
+    for message in messages:
+        msp.observe(message)
+        vmsp.observe(message)
+    assert vmsp.stats.correct >= msp.stats.correct
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(3, 10),
+    st.lists(st.integers(1, 7), min_size=2, max_size=4, unique=True).map(tuple),
+    st.integers(0, 999),
+)
+def test_msp_tables_never_larger_than_cosmos(iters, readers, seed):
+    messages = _emulated_messages(iters, readers, racy=True, seed=seed)
+    cosmos, msp = Cosmos(depth=1), Msp(depth=1)
+    for message in messages:
+        cosmos.observe(message)
+        msp.observe(message)
+    assert msp.average_pattern_entries() <= cosmos.average_pattern_entries()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 500))
+def test_all_predictors_deterministic(iters, seed):
+    messages = _emulated_messages(iters, (1, 2, 3), True, seed)
+    for cls in (Cosmos, Msp, Vmsp):
+        a, b = cls(depth=1), cls(depth=1)
+        for message in messages:
+            a.observe(message)
+            b.observe(message)
+        assert a.stats == b.stats

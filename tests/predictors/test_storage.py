@@ -1,0 +1,83 @@
+"""Tests for the Table 4 storage-overhead model."""
+
+import pytest
+
+from repro.predictors import Cosmos, Msp, Vmsp
+from repro.predictors.storage import (
+    general_token_bits,
+    pid_bits,
+    request_token_bits,
+    vector_token_bits,
+    vmsp_break_even_readers,
+    vmsp_tokens_bits,
+)
+
+
+class TestTokenWidths:
+    def test_pid_bits_for_paper_machine(self):
+        assert pid_bits(16) == 4
+
+    def test_cosmos_token_is_seven_bits(self):
+        # 3 type bits (5 message kinds) + 4 pid bits (Section 7.3).
+        assert general_token_bits(16) == 7
+
+    def test_msp_token_is_six_bits(self):
+        # 2 type bits (3 request kinds) + 4 pid bits.
+        assert request_token_bits(16) == 6
+
+    def test_vmsp_vector_token_is_eighteen_bits(self):
+        # 2 type bits + 16-bit reader vector.
+        assert vector_token_bits(16) == 18
+
+    def test_pid_bits_rejects_tiny_machines(self):
+        with pytest.raises(ValueError):
+            pid_bits(1)
+
+
+class TestPaperFormulas:
+    """Per-block bytes must match the paper's closed forms at depth 1."""
+
+    @pytest.mark.parametrize("pte", [1, 2, 3, 5, 7, 11])
+    def test_cosmos_bytes(self, pte):
+        profile = Cosmos.storage_profile(16, depth=1)
+        assert profile.bytes_per_block(pte) == (7 + 14 * pte) / 8
+
+    @pytest.mark.parametrize("pte", [1, 2, 3, 5, 7, 11])
+    def test_msp_bytes(self, pte):
+        profile = Msp.storage_profile(16, depth=1)
+        assert profile.bytes_per_block(pte) == (6 + 12 * pte) / 8
+
+    @pytest.mark.parametrize("pte", [1, 2, 3, 5, 7, 11])
+    def test_vmsp_bytes(self, pte):
+        profile = Vmsp.storage_profile(16, depth=1)
+        assert profile.bytes_per_block(pte) == (18 + 24 * pte) / 8
+
+    def test_paper_example_appbt_row(self):
+        # Table 4 appbt: Cosmos pte=5 -> 10 bytes; MSP pte=3 -> 6;
+        # VMSP pte=2 -> 9 (the paper rounds cells up).
+        import math
+
+        assert math.ceil(Cosmos.storage_profile(16, 1).bytes_per_block(5)) == 10
+        assert math.ceil(Msp.storage_profile(16, 1).bytes_per_block(3)) == 6
+        assert math.ceil(Vmsp.storage_profile(16, 1).bytes_per_block(2)) == 9
+
+
+class TestDepthScaling:
+    @pytest.mark.parametrize("cls", [Cosmos, Msp, Vmsp])
+    def test_history_bits_grow_with_depth(self, cls):
+        widths = [cls.storage_profile(16, d).history_bits for d in (1, 2, 4)]
+        assert widths[0] < widths[1] < widths[2]
+
+    def test_vmsp_vectors_never_adjacent(self):
+        # Of k consecutive VMSP tokens at most ceil(k/2) are vectors.
+        assert vmsp_tokens_bits(16, 1) == 18
+        assert vmsp_tokens_bits(16, 2) == 18 + 6
+        assert vmsp_tokens_bits(16, 3) == 18 + 6 + 18
+        assert vmsp_tokens_bits(16, 4) == 18 + 6 + 18 + 6
+
+
+class TestBreakEven:
+    def test_paper_break_even_values(self):
+        # Section 3.1: two readers at 8 processors, three at 16.
+        assert 1 < vmsp_break_even_readers(8) <= 2
+        assert 2 < vmsp_break_even_readers(16) <= 3

@@ -1,0 +1,50 @@
+"""Tests for the early-write-invalidate table."""
+
+from repro.predictors.swi import EarlyWriteInvalidateTable
+
+
+class TestEwiTable:
+    def test_first_write_has_no_candidate(self):
+        table = EarlyWriteInvalidateTable()
+        assert table.record_write(writer=3, block=100) is None
+
+    def test_next_write_returns_previous_block(self):
+        table = EarlyWriteInvalidateTable()
+        table.record_write(3, 100)
+        assert table.record_write(3, 101) == 100
+
+    def test_rewrite_of_same_block_is_not_a_candidate(self):
+        table = EarlyWriteInvalidateTable()
+        table.record_write(3, 100)
+        assert table.record_write(3, 100) is None
+        # The heuristic resumes on the next distinct write.
+        assert table.record_write(3, 101) == 100
+
+    def test_writers_are_tracked_independently(self):
+        table = EarlyWriteInvalidateTable()
+        table.record_write(1, 10)
+        table.record_write(2, 20)
+        assert table.record_write(1, 11) == 10
+        assert table.record_write(2, 21) == 20
+
+    def test_last_write_lookup(self):
+        table = EarlyWriteInvalidateTable()
+        table.record_write(1, 42)
+        assert table.last_write(1) == 42
+        assert table.last_write(9) is None
+
+
+class TestSuppression:
+    def test_suppress_round_trip(self):
+        table = EarlyWriteInvalidateTable()
+        history = (("upgrade", 3),)
+        assert not table.is_suppressed(5, history)
+        table.suppress(5, history)
+        assert table.is_suppressed(5, history)
+        assert table.suppressed_count == 1
+
+    def test_suppression_is_per_entry(self):
+        table = EarlyWriteInvalidateTable()
+        table.suppress(5, (("write", 3),))
+        assert not table.is_suppressed(5, (("write", 4),))
+        assert not table.is_suppressed(6, (("write", 3),))

@@ -1,0 +1,181 @@
+"""Tests for the per-block full-map directory FSM (paper Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import DirectoryState, MessageKind
+from repro.protocol.directory import BlockDirectory
+
+
+class TestReads:
+    def test_idle_read_shares(self):
+        d = BlockDirectory()
+        t = d.read(1)
+        assert t.request is MessageKind.READ
+        assert d.state is DirectoryState.SHARED
+        assert d.sharers == {1}
+
+    def test_second_reader_joins(self):
+        d = BlockDirectory()
+        d.read(1)
+        t = d.read(2)
+        assert t.request is MessageKind.READ
+        assert d.sharers == {1, 2}
+
+    def test_sharer_rereads_silently(self):
+        d = BlockDirectory()
+        d.read(1)
+        t = d.read(1)
+        assert not t.generated_request
+
+    def test_read_of_exclusive_forces_writeback(self):
+        d = BlockDirectory()
+        d.write(3)
+        t = d.read(1)
+        assert t.request is MessageKind.READ
+        assert t.writeback_from == 3
+        assert d.state is DirectoryState.SHARED
+        assert d.sharers == {1}
+
+    def test_owner_read_hits_in_cache(self):
+        d = BlockDirectory()
+        d.write(3)
+        t = d.read(3)
+        assert not t.generated_request
+        assert d.state is DirectoryState.EXCLUSIVE
+
+
+class TestWrites:
+    def test_idle_write_takes_exclusive(self):
+        d = BlockDirectory()
+        t = d.write(2)
+        assert t.request is MessageKind.WRITE
+        assert d.state is DirectoryState.EXCLUSIVE
+        assert d.owner == 2
+
+    def test_write_invalidates_sharers_in_fullmap_order(self):
+        d = BlockDirectory()
+        d.read(5)
+        d.read(2)
+        d.read(9)
+        t = d.write(7)
+        assert t.request is MessageKind.WRITE
+        assert t.invalidated == (2, 5, 9)
+
+    def test_sharer_write_is_upgrade(self):
+        d = BlockDirectory()
+        d.read(1)
+        d.read(2)
+        t = d.write(1)
+        assert t.request is MessageKind.UPGRADE
+        assert t.invalidated == (2,)
+
+    def test_sole_sharer_upgrade_needs_no_acks(self):
+        d = BlockDirectory()
+        d.read(4)
+        t = d.write(4)
+        assert t.request is MessageKind.UPGRADE
+        assert t.invalidated == ()
+
+    def test_write_of_exclusive_forces_writeback(self):
+        d = BlockDirectory()
+        d.write(1)
+        t = d.write(2)
+        assert t.request is MessageKind.WRITE
+        assert t.writeback_from == 1
+        assert d.owner == 2
+
+    def test_owner_rewrite_is_silent(self):
+        d = BlockDirectory()
+        d.write(1)
+        t = d.write(1)
+        assert not t.generated_request
+
+
+class TestRecall:
+    def test_recall_exclusive_writes_back(self):
+        d = BlockDirectory()
+        d.write(6)
+        t = d.recall()
+        assert t.writeback_from == 6
+        assert d.state is DirectoryState.IDLE
+
+    def test_recall_shared_invalidates_all(self):
+        d = BlockDirectory()
+        d.read(1)
+        d.read(3)
+        t = d.recall()
+        assert t.invalidated == (1, 3)
+        assert d.state is DirectoryState.IDLE
+
+    def test_recall_idle_is_noop(self):
+        d = BlockDirectory()
+        t = d.recall()
+        assert not t.invalidated and t.writeback_from is None
+
+
+class TestSpeculativeGrants:
+    def test_grant_on_idle_makes_sharer(self):
+        d = BlockDirectory()
+        assert d.grant_speculative_copy(4)
+        assert d.state is DirectoryState.SHARED
+        assert d.sharers == {4}
+
+    def test_grant_refused_on_exclusive(self):
+        d = BlockDirectory()
+        d.write(1)
+        assert not d.grant_speculative_copy(4)
+
+    def test_grant_refused_for_existing_sharer(self):
+        d = BlockDirectory()
+        d.read(4)
+        assert not d.grant_speculative_copy(4)
+
+    def test_invalidate_sharer_returns_to_idle_when_empty(self):
+        d = BlockDirectory()
+        d.read(4)
+        d.invalidate_sharer(4)
+        assert d.state is DirectoryState.IDLE
+
+
+# ----------------------------------------------------------------------
+# protocol invariants under arbitrary access sequences
+# ----------------------------------------------------------------------
+access_sequences = st.lists(
+    st.tuples(st.sampled_from(["read", "write"]), st.integers(0, 7)),
+    max_size=60,
+)
+
+
+@given(access_sequences)
+def test_single_writer_multiple_readers_invariant(sequence):
+    """At any point: exclusive -> exactly one holder, no sharers."""
+    d = BlockDirectory()
+    for op, node in sequence:
+        getattr(d, op)(node)
+        if d.state is DirectoryState.EXCLUSIVE:
+            assert d.owner is not None
+            assert not d.sharers
+        elif d.state is DirectoryState.SHARED:
+            assert d.owner is None
+            assert d.sharers
+        else:
+            assert d.owner is None and not d.sharers
+
+
+@given(access_sequences)
+def test_requester_always_holds_copy_afterwards(sequence):
+    d = BlockDirectory()
+    for op, node in sequence:
+        getattr(d, op)(node)
+        assert d.has_valid_copy(node)
+
+
+@given(access_sequences)
+def test_invalidated_never_includes_writer(sequence):
+    d = BlockDirectory()
+    for op, node in sequence:
+        transition = getattr(d, op)(node)
+        if op == "write":
+            assert node not in transition.invalidated

@@ -1,0 +1,30 @@
+"""Tests for the block-script epoch DSL."""
+
+import pytest
+
+from repro.protocol.epochs import BlockScript, ReadEpoch, WriteEpoch
+
+
+class TestReadEpoch:
+    def test_rejects_duplicate_readers(self):
+        with pytest.raises(ValueError):
+            ReadEpoch(readers=(1, 1))
+
+    def test_defaults_are_not_racy(self):
+        epoch = ReadEpoch(readers=(1, 2))
+        assert not epoch.racy
+        assert not epoch.racy_acks
+
+    def test_str_mentions_flags(self):
+        epoch = ReadEpoch(readers=(1,), racy=True, racy_acks=True)
+        assert "ra" in str(epoch)
+
+
+class TestBlockScript:
+    def test_append_and_iterate(self):
+        script = BlockScript(block=5)
+        script.append(WriteEpoch(writer=0))
+        script.append(ReadEpoch(readers=(1,)))
+        assert len(script) == 2
+        kinds = [type(e).__name__ for e in script]
+        assert kinds == ["WriteEpoch", "ReadEpoch"]

@@ -1,0 +1,71 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(30, lambda: log.append("c"))
+        queue.schedule(10, lambda: log.append("a"))
+        queue.schedule(20, lambda: log.append("b"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        log = []
+        for tag in "abc":
+            queue.schedule(5, lambda t=tag: log.append(t))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(7, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [7]
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        log = []
+
+        def first():
+            queue.schedule(5, lambda: log.append(queue.now))
+
+        queue.schedule(10, first)
+        queue.run()
+        assert log == [15]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+
+    def test_at_before_now_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: queue.at(5, lambda: None))
+        with pytest.raises(ValueError):
+            queue.run()
+
+    def test_max_events_bound(self):
+        queue = EventQueue()
+        for _ in range(10):
+            queue.schedule(1, lambda: None)
+        assert queue.run(max_events=4) == 4
+        assert len(queue) == 6
+
+    @given(st.lists(st.integers(0, 1000), max_size=50))
+    def test_monotone_time(self, delays):
+        queue = EventQueue()
+        times = []
+        for delay in delays:
+            queue.schedule(delay, lambda: times.append(queue.now))
+        queue.run()
+        assert times == sorted(times)

@@ -1,0 +1,141 @@
+"""Unit tests for the FR/SWI speculation engine."""
+
+from repro.common.types import MessageKind
+from repro.speculation.engine import SpeculationEngine
+
+BLOCK = 0x900
+W = MessageKind.WRITE
+U = MessageKind.UPGRADE
+
+
+def train_producer_consumer(engine, rounds=3, writer=0, readers=(1, 2)):
+    for _ in range(rounds):
+        engine.observe_write(BLOCK, W, writer)
+        for reader in readers:
+            engine.observe_read(BLOCK, reader)
+
+
+class TestFirstRead:
+    def test_first_read_triggers_remaining_vector(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        targets = engine.observe_read(BLOCK, 1)
+        assert targets == frozenset({2})
+
+    def test_later_reads_do_not_retrigger(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        engine.observe_read(BLOCK, 1)
+        assert engine.observe_read(BLOCK, 2) == frozenset()
+
+    def test_untrained_block_triggers_nothing(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        assert engine.observe_read(BLOCK, 1) == frozenset()
+
+
+class TestSwi:
+    def test_swi_disabled_never_allows(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        assert not engine.swi_allowed(BLOCK)
+
+    def test_swi_allowed_when_enabled_and_unsuppressed(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        assert engine.swi_allowed(BLOCK)
+
+    def test_swi_invalidated_returns_predicted_readers(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        targets = engine.swi_invalidated(BLOCK, writer=0)
+        assert targets == frozenset({1, 2})
+        assert engine.stats.wi_sent == 1
+
+    def test_premature_verdict_suppresses(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        engine.swi_invalidated(BLOCK, writer=0)
+        # The producer comes straight back: premature.
+        engine.observe_read(BLOCK, 0)
+        assert engine.stats.wi_premature == 1
+        assert not engine.swi_allowed(BLOCK)
+
+    def test_foreign_request_confirms_swi(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        engine.swi_invalidated(BLOCK, writer=0)
+        engine.observe_read(BLOCK, 1)  # a consumer arrives first
+        assert engine.stats.wi_premature == 0
+
+    def test_spec_use_confirms_swi(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        engine.swi_invalidated(BLOCK, writer=0)
+        engine.record_spec_sent(BLOCK, 1, origin="swi")
+        engine.spec_feedback(BLOCK, 1, used=True)
+        # Later producer write is the *next* interval, not premature.
+        engine.observe_write(BLOCK, W, 0)
+        assert engine.stats.wi_premature == 0
+
+
+class TestVerification:
+    def test_used_copy_counts_by_origin(self):
+        engine = SpeculationEngine(home=0, swi_enabled=True)
+        train_producer_consumer(engine)
+        engine.record_spec_sent(BLOCK, 1, origin="fr")
+        engine.record_spec_sent(BLOCK, 2, origin="swi")
+        engine.spec_feedback(BLOCK, 1, used=True)
+        engine.spec_feedback(BLOCK, 2, used=True)
+        assert engine.stats.fr_used == 1
+        assert engine.stats.swi_used == 1
+
+    def test_unused_copy_counts_missed_and_removes_entry(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        history = engine.predictor.current_history(BLOCK)
+        engine.record_spec_sent(BLOCK, 2, origin="fr")
+        assert engine.predictor.predicted_next(BLOCK) is not None
+        engine.spec_feedback(BLOCK, 2, used=False)
+        assert engine.stats.fr_missed == 1
+        assert engine.predictor._patterns[BLOCK].get(history) is None
+
+    def test_race_drop_is_not_a_miss(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        engine.record_spec_sent(BLOCK, 2, origin="fr")
+        engine.spec_feedback(BLOCK, 2, used=False, raced=True)
+        assert engine.stats.race_dropped == 1
+        assert engine.stats.fr_missed == 0
+
+    def test_unknown_feedback_is_ignored(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        engine.spec_feedback(BLOCK, 9, used=True)
+        assert engine.stats.fr_used == 0
+
+    def test_used_copy_joins_the_run(self):
+        engine = SpeculationEngine(home=0, swi_enabled=False)
+        train_producer_consumer(engine)
+        engine.observe_write(BLOCK, W, 0)
+        engine.record_spec_sent(BLOCK, 2, origin="fr")
+        engine.spec_feedback(BLOCK, 2, used=True)
+        assert 2 in engine.predictor.open_run(BLOCK)
+
+
+class TestStatsMerge:
+    def test_merge_adds_fields(self):
+        from repro.speculation.engine import SpeculationStats
+
+        a = SpeculationStats(fr_sent=1, wi_sent=2)
+        b = SpeculationStats(fr_sent=3, swi_used=4)
+        a.merge(b)
+        assert a.fr_sent == 4
+        assert a.wi_sent == 2
+        assert a.swi_used == 4
