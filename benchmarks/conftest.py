@@ -9,6 +9,13 @@ round; cheap ones let pytest-benchmark calibrate itself.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Benchmarks regenerate whole figures — keep them out of -m "not slow"."""
+    for item in items:
+        if "benchmarks" in item.path.parts:
+            item.add_marker(pytest.mark.slow)
+
+
 def one_round(benchmark, fn, *args, **kwargs):
     """Run an expensive experiment exactly once under the benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -15,5 +15,8 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
     entry_points={"console_scripts": ["repro-paper=repro.eval.cli:main"]},
 )

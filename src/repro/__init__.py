@@ -24,6 +24,7 @@ from repro.analytic import SpeculationModel, communication_speedup, speedup
 from repro.apps import APP_NAMES, SharedMemoryApp, Workload, make_app
 from repro.common import SystemConfig
 from repro.eval import run_experiment, run_predictors, run_speculation
+from repro.harness import ParallelRunner, ResultStore, SweepSpec
 from repro.predictors import Cosmos, Msp, Vmsp, make_predictor
 from repro.protocol import BlockScript, ProtocolEmulator, ReadEpoch, WriteEpoch
 from repro.sim import Machine, MachineMode
@@ -37,10 +38,13 @@ __all__ = [
     "Machine",
     "MachineMode",
     "Msp",
+    "ParallelRunner",
     "ProtocolEmulator",
     "ReadEpoch",
+    "ResultStore",
     "SharedMemoryApp",
     "SpeculationModel",
+    "SweepSpec",
     "SystemConfig",
     "Vmsp",
     "Workload",

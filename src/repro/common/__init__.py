@@ -6,6 +6,7 @@ configuration (Table 1 of the paper), counters, and seeded randomness
 helpers.
 """
 
+from repro.common.canonical import canonical_hash, canonical_json
 from repro.common.config import SystemConfig
 from repro.common.rng import DeterministicRng
 from repro.common.stats import Counter, StatSet
@@ -29,6 +30,8 @@ __all__ = [
     "NodeId",
     "StatSet",
     "SystemConfig",
+    "canonical_hash",
+    "canonical_json",
     "ACK_KINDS",
     "REQUEST_KINDS",
 ]

@@ -1,0 +1,36 @@
+"""Canonical JSON encoding and hashing.
+
+The experiment harness addresses cached results by content: a sweep
+point's identity is the SHA-256 of its canonical JSON form.  Canonical
+means byte-stable across processes and Python versions — keys sorted,
+separators fixed, no NaN/Infinity, and only JSON-representable values
+(tuples are serialized as lists, so ``(1, 2)`` and ``[1, 2]`` hash
+identically by design).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical (byte-stable) JSON string.
+
+    Raises :class:`TypeError` for values outside the JSON model and
+    :class:`ValueError` for NaN/Infinity, both of which would make the
+    hash unstable or ambiguous.
+    """
+    return json.dumps(
+        value,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_hash(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -2,28 +2,196 @@
 
 Usage::
 
-    repro-paper                  # run everything
-    repro-paper figure7 table5   # run specific experiments
-    repro-paper --fast           # quarter-size runs for a quick look
-    repro-paper --list           # list experiment ids
+    repro-paper                    # run everything
+    repro-paper figure7 table5     # run specific experiments
+    repro-paper --fast --jobs 4    # quarter-size runs, 4 worker processes
+    repro-paper --refresh figure9  # recompute, ignoring cached points
+    repro-paper --list             # list experiment ids
+
+Grid-shaped experiments execute through the parallel harness: ``--jobs``
+fans sweep points out over worker processes and every computed point is
+cached under ``--cache-dir`` (default ``.repro-cache``, override with
+``REPRO_CACHE_DIR``), so re-running a figure only recomputes what
+changed.  ``--no-cache`` disables the store, ``--refresh`` overwrites it.
+
+The ``sweep`` subcommand runs arbitrary user-defined grids beyond the
+paper's own, printing one JSON object per point::
+
+    repro-paper sweep --kind accuracy --axis app=em3d,moldyn \\
+        --axis depth=1,2,4 --set iterations=8 --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
+import os
 import sys
 import time
+from typing import Any
 
 from repro.eval.reporting import RENDERERS, render
+from repro.harness import (
+    ParallelRunner,
+    ResultStore,
+    SweepError,
+    SweepSpec,
+    runner_kinds,
+)
+
+def _default_cache_dir() -> str:
+    """Resolved per invocation so REPRO_CACHE_DIR set after import works."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def _jobs_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all cores)")
+    return value
+
+
+def _add_harness_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep execution (0 = all cores, default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep-point result cache (default: .repro-cache, "
+        "or the REPRO_CACHE_DIR environment variable)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every point without reading or writing the cache",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every point and overwrite cached results",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+    store = None if args.no_cache else ResultStore(cache_dir)
+    return ParallelRunner(jobs=args.jobs, store=store, refresh=args.refresh)
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort literal: int, float, bool, null, else bare string.
+
+    Non-finite floats (NaN/Infinity) stay bare strings: sweep
+    parameters must be canonical-JSON-hashable.
+    """
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError:
+        return text
+    if isinstance(value, float) and not math.isfinite(value):
+        return text
+    return value
+
+
+def _parse_axis(text: str) -> tuple[str, list[Any]]:
+    name, sep, values = text.partition("=")
+    if not sep or not name or not values:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=V1,V2,... got {text!r}"
+        )
+    return name, [_parse_value(v) for v in values.split(",")]
+
+
+def _parse_setting(text: str) -> tuple[str, Any]:
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {text!r}")
+    return name, _parse_value(value)
+
+
+def _sweep_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper sweep",
+        description=(
+            "Run a user-defined parameter grid through the experiment "
+            "harness and print one JSON object per sweep point."
+        ),
+    )
+    parser.add_argument(
+        "--kind",
+        required=True,
+        choices=runner_kinds(),
+        help="which point runner executes each grid cell",
+    )
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="a swept parameter (repeatable); the grid is the product",
+    )
+    parser.add_argument(
+        "--set",
+        dest="settings",
+        action="append",
+        default=[],
+        type=_parse_setting,
+        metavar="NAME=VALUE",
+        help="a fixed parameter shared by every point (repeatable)",
+    )
+    _add_harness_options(parser)
+    args = parser.parse_args(argv)
+    if not args.axis:
+        parser.error("at least one --axis is required")
+
+    spec = SweepSpec(kind=args.kind, axes=dict(args.axis), base=dict(args.settings))
+    started = time.perf_counter()
+    try:
+        result = _make_runner(args).run(spec)
+    except SweepError as exc:
+        print(f"repro-paper sweep: error: {exc}", file=sys.stderr)
+        return 1
+    except (TypeError, ValueError) as exc:
+        print(
+            f"repro-paper sweep: error: invalid sweep parameters: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    elapsed = time.perf_counter() - started
+    for point, value in result.items():
+        print(json.dumps({"params": point.as_dict(), "result": value}))
+    report = result.report
+    print(
+        f"[{len(result)} points in {elapsed:.1f}s: {report.executed} executed, "
+        f"{report.cached} cached, jobs={report.jobs}]",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-paper",
         description=(
             "Reproduce the tables and figures of Lai & Falsafi, 'Memory "
             "Sharing Predictor: The Key to a Speculative Coherent DSM' "
-            "(ISCA 1999)."
+            "(ISCA 1999).  See also the 'sweep' subcommand for arbitrary "
+            "parameter grids."
         ),
     )
     parser.add_argument(
@@ -40,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
+    _add_harness_options(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -55,9 +224,14 @@ def main(argv: list[str] | None = None) -> int:
             f"(known: {', '.join(RENDERERS)})"
         )
 
+    runner = _make_runner(args)
     for name in names:
         started = time.perf_counter()
-        output = render(name, fast=args.fast)
+        try:
+            output = render(name, fast=args.fast, runner=runner)
+        except SweepError as exc:
+            print(f"repro-paper: error: {exc}", file=sys.stderr)
+            return 1
         elapsed = time.perf_counter() - started
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]")

@@ -1,15 +1,22 @@
-"""One driver per paper table / figure, returning structured rows."""
+"""One driver per paper table / figure, returning structured rows.
+
+Every grid-shaped experiment (Figures 6-9, Tables 3-5) is declared as a
+:class:`~repro.harness.spec.SweepSpec` and executed through the
+experiment harness, so passing a :class:`~repro.harness.ParallelRunner`
+fans the grid out over worker processes and/or reuses cached points.
+With no runner the experiments run serially in-process, exactly as the
+hand-written loops they replaced; results are bit-identical either way
+because every sweep point is deterministic.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.analytic.model import figure6_panels
+from repro.analytic.model import FIGURE6_SWEEPS
 from repro.apps.registry import APP_NAMES, table2_rows
 from repro.common.config import SystemConfig, table1_rows
-from repro.eval.accuracy import run_predictors
-from repro.eval.performance import PAPER_MODES, run_speculation
-from repro.sim.machine import MachineMode
+from repro.harness import ParallelRunner, SweepResult, SweepSpec
 
 PREDICTORS = ("Cosmos", "MSP", "VMSP")
 
@@ -37,6 +44,9 @@ PERFORMANCE_ITERATIONS = {
     "unstructured": 12,
 }
 
+#: The panels of Figure 6, in the analytic model's declaration order.
+FIGURE6_PANELS = tuple(FIGURE6_SWEEPS)
+
 
 def _scale(iterations: dict[str, int], fast: bool) -> dict[str, int]:
     if not fast:
@@ -44,84 +54,130 @@ def _scale(iterations: dict[str, int], fast: bool) -> dict[str, int]:
     return {name: max(4, count // 4) for name, count in iterations.items()}
 
 
+def _run(spec: SweepSpec, runner: ParallelRunner | None) -> SweepResult:
+    return (runner or ParallelRunner()).run(spec)
+
+
+def accuracy_spec(fast: bool = False, depths: tuple[int, ...] = (1,)) -> SweepSpec:
+    """The app x depth accuracy grid behind Figures 7-8 / Tables 3-4."""
+    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    return SweepSpec(
+        kind="accuracy",
+        axes={"app": APP_NAMES, "depth": list(depths)},
+        base={"predictors": PREDICTORS},
+        derive=lambda p: {"iterations": iterations[p["app"]]},
+    )
+
+
+def speculation_spec(fast: bool = False) -> SweepSpec:
+    """The per-app timing-simulator grid behind Figure 9 / Table 5."""
+    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
+    return SweepSpec(
+        kind="speculation",
+        axes={"app": APP_NAMES},
+        derive=lambda p: {"iterations": iterations[p["app"]]},
+    )
+
+
 # ----------------------------------------------------------------------
 # configuration tables
 # ----------------------------------------------------------------------
-def table1(fast: bool = False) -> list[tuple[str, str]]:
+def table1(fast: bool = False, runner: ParallelRunner | None = None):
     """Table 1: system configuration parameters."""
-    del fast
+    del fast, runner
     return table1_rows(SystemConfig())
 
 
-def table2(fast: bool = False) -> list[tuple[str, str, int]]:
+def table2(fast: bool = False, runner: ParallelRunner | None = None):
     """Table 2: applications and input data sets."""
-    del fast
+    del fast, runner
     return table2_rows()
 
 
 # ----------------------------------------------------------------------
 # analytic model
 # ----------------------------------------------------------------------
-def figure6(fast: bool = False, points: int = 21) -> dict[str, dict]:
+def figure6(
+    fast: bool = False,
+    points: int = 21,
+    runner: ParallelRunner | None = None,
+) -> dict[str, dict]:
     """Figure 6: speedup of a speculative coherent DSM (4 panels)."""
     del fast
-    return figure6_panels(points=points)
+    spec = SweepSpec(
+        kind="analytic",
+        axes={"panel": FIGURE6_PANELS},
+        base={"points": points},
+    )
+    result = _run(spec, runner)
+    panels: dict[str, dict] = {}
+    for point, value in result.items():
+        panels[point["panel"]] = {
+            entry["value"]: [(c, s) for c, s in entry["points"]]
+            for entry in value["series"]
+        }
+    return panels
 
 
 # ----------------------------------------------------------------------
 # predictor accuracy / cost
 # ----------------------------------------------------------------------
-def figure7(fast: bool = False) -> dict[str, dict[str, float]]:
+def figure7(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[str, float]]:
     """Figure 7: prediction accuracy per app, depth 1 (percent)."""
-    iterations = _scale(ACCURACY_ITERATIONS, fast)
-    rows: dict[str, dict[str, float]] = {}
-    for app in APP_NAMES:
-        runs = run_predictors(app, depth=1, iterations=iterations[app])
-        rows[app] = {
-            name: 100.0 * run.accuracy for name, run in runs.items()
+    result = _run(accuracy_spec(fast), runner)
+    return {
+        point["app"]: {
+            name: 100.0 * run["accuracy"] for name, run in value["runs"].items()
         }
-    return rows
+        for point, value in result.items()
+    }
 
 
-def figure8(fast: bool = False, depths: tuple[int, ...] = (1, 2, 4)) -> dict:
+def figure8(
+    fast: bool = False,
+    depths: tuple[int, ...] = (1, 2, 4),
+    runner: ParallelRunner | None = None,
+) -> dict:
     """Figure 8: prediction accuracy at history depths 1, 2, 4."""
-    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    result = _run(accuracy_spec(fast, depths=depths), runner)
     rows: dict[str, dict[int, dict[str, float]]] = {}
-    for app in APP_NAMES:
-        rows[app] = {}
-        for depth in depths:
-            runs = run_predictors(app, depth=depth, iterations=iterations[app])
-            rows[app][depth] = {
-                name: 100.0 * run.accuracy for name, run in runs.items()
-            }
-    return rows
-
-
-def table3(fast: bool = False) -> dict[str, dict[str, tuple[float, float]]]:
-    """Table 3: % messages predicted (and correctly predicted), d=1."""
-    iterations = _scale(ACCURACY_ITERATIONS, fast)
-    rows: dict[str, dict[str, tuple[float, float]]] = {}
-    for app in APP_NAMES:
-        runs = run_predictors(app, depth=1, iterations=iterations[app])
-        rows[app] = {
-            name: (100.0 * run.coverage, 100.0 * run.correct_fraction)
-            for name, run in runs.items()
+    for point, value in result.items():
+        rows.setdefault(point["app"], {})[point["depth"]] = {
+            name: 100.0 * run["accuracy"] for name, run in value["runs"].items()
         }
     return rows
 
 
-def table4(fast: bool = False) -> dict[str, dict[str, dict[str, float]]]:
+def table3(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """Table 3: % messages predicted (and correctly predicted), d=1."""
+    result = _run(accuracy_spec(fast), runner)
+    return {
+        point["app"]: {
+            name: (100.0 * run["coverage"], 100.0 * run["correct_fraction"])
+            for name, run in value["runs"].items()
+        }
+        for point, value in result.items()
+    }
+
+
+def table4(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[str, dict[str, float]]]:
     """Table 4: pattern-table entries per block (d=1, d=4), bytes (d=1)."""
-    iterations = _scale(ACCURACY_ITERATIONS, fast)
+    result = _run(accuracy_spec(fast, depths=(1, 4)), runner)
     rows: dict[str, dict[str, dict[str, float]]] = {}
     for app in APP_NAMES:
-        shallow = run_predictors(app, depth=1, iterations=iterations[app])
-        deep = run_predictors(app, depth=4, iterations=iterations[app])
+        shallow = result.value(app=app, depth=1)["runs"]
+        deep = result.value(app=app, depth=4)["runs"]
         rows[app] = {
             name: {
-                "pte_d1": shallow[name].average_pte,
-                "pte_d4": deep[name].average_pte,
-                "ovh_d1": shallow[name].overhead_bytes,
+                "pte_d1": shallow[name]["average_pte"],
+                "pte_d4": deep[name]["average_pte"],
+                "ovh_d1": shallow[name]["overhead_bytes"],
             }
             for name in PREDICTORS
         }
@@ -131,25 +187,26 @@ def table4(fast: bool = False) -> dict[str, dict[str, dict[str, float]]]:
 # ----------------------------------------------------------------------
 # speculative DSM performance
 # ----------------------------------------------------------------------
-def figure9(fast: bool = False) -> dict[str, dict[str, tuple[float, float]]]:
+def figure9(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[str, tuple[float, float]]]:
     """Figure 9: normalized execution time (comp, request) per system."""
-    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
-    rows: dict[str, dict[str, tuple[float, float]]] = {}
-    for app in APP_NAMES:
-        run = run_speculation(app, iterations=iterations[app])
-        rows[app] = {
-            mode.value: run.breakdown(mode) for mode in PAPER_MODES
-        }
-    return rows
-
-
-def table5(fast: bool = False) -> dict[str, dict[str, float]]:
-    """Table 5: request counts and speculation/misspeculation rates."""
-    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
+    result = _run(speculation_spec(fast), runner)
     return {
-        app: run_speculation(app, iterations=iterations[app]).table5_row()
-        for app in APP_NAMES
+        point["app"]: {
+            mode: (entry["comp"], entry["request"])
+            for mode, entry in value["modes"].items()
+        }
+        for point, value in result.items()
     }
+
+
+def table5(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[str, float]]:
+    """Table 5: request counts and speculation/misspeculation rates."""
+    result = _run(speculation_spec(fast), runner)
+    return {point["app"]: value["table5"] for point, value in result.items()}
 
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -165,11 +222,11 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
-def run_experiment(name: str, fast: bool = False):
+def run_experiment(name: str, fast: bool = False, runner: ParallelRunner | None = None):
     """Run one experiment by its paper id (e.g. 'figure7')."""
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(EXPERIMENTS)
         raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
-    return fn(fast=fast)
+    return fn(fast=fast, runner=runner)

@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.apps.registry import APP_NAMES
 from repro.eval import experiments as exp
 from repro.eval.performance import PAPER_MODES
-from repro.sim.machine import MachineMode
 
 PREDICTORS = exp.PREDICTORS
 
@@ -14,26 +13,26 @@ def _rule(width: int = 78) -> str:
     return "-" * width
 
 
-def render_table1(fast: bool = False) -> str:
+def render_table1(fast: bool = False, runner=None) -> str:
     lines = ["Table 1: System configuration parameters.", _rule(58)]
-    for name, value in exp.table1(fast=fast):
+    for name, value in exp.table1(fast=fast, runner=runner):
         lines.append(f"{name:<44s} {value:>12s}")
     return "\n".join(lines)
 
 
-def render_table2(fast: bool = False) -> str:
+def render_table2(fast: bool = False, runner=None) -> str:
     lines = [
         "Table 2: Applications and input data sets (paper-scale).",
         _rule(58),
         f"{'Application':<14s} {'Input Data Sets':<28s} {'Iterations':>10s}",
     ]
-    for name, inputs, iterations in exp.table2(fast=fast):
+    for name, inputs, iterations in exp.table2(fast=fast, runner=runner):
         lines.append(f"{name:<14s} {inputs:<28s} {iterations:>10d}")
     return "\n".join(lines)
 
 
-def render_figure6(fast: bool = False, points: int = 11) -> str:
-    panels = exp.figure6(fast=fast, points=points)
+def render_figure6(fast: bool = False, points: int = 11, runner=None) -> str:
+    panels = exp.figure6(fast=fast, points=points, runner=runner)
     lines = ["Figure 6: Potential speedup in a speculative coherent DSM."]
     for panel_name, series in panels.items():
         lines.append("")
@@ -47,8 +46,8 @@ def render_figure6(fast: bool = False, points: int = 11) -> str:
     return "\n".join(lines)
 
 
-def render_figure7(fast: bool = False) -> str:
-    rows = exp.figure7(fast=fast)
+def render_figure7(fast: bool = False, runner=None) -> str:
+    rows = exp.figure7(fast=fast, runner=runner)
     lines = [
         "Figure 7: Base predictor accuracy comparison (history depth 1, %).",
         _rule(58),
@@ -68,8 +67,8 @@ def render_figure7(fast: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_figure8(fast: bool = False) -> str:
-    rows = exp.figure8(fast=fast)
+def render_figure8(fast: bool = False, runner=None) -> str:
+    rows = exp.figure8(fast=fast, runner=runner)
     lines = [
         "Figure 8: Predictor accuracy with varying history depth (%).",
         _rule(78),
@@ -85,8 +84,8 @@ def render_figure8(fast: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_table3(fast: bool = False) -> str:
-    rows = exp.table3(fast=fast)
+def render_table3(fast: bool = False, runner=None) -> str:
+    rows = exp.table3(fast=fast, runner=runner)
     lines = [
         "Table 3: Messages predicted (and correctly predicted), depth 1 (%).",
         _rule(62),
@@ -101,8 +100,8 @@ def render_table3(fast: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_table4(fast: bool = False) -> str:
-    rows = exp.table4(fast=fast)
+def render_table4(fast: bool = False, runner=None) -> str:
+    rows = exp.table4(fast=fast, runner=runner)
     lines = [
         "Table 4: Predictor storage overhead "
         "(pattern-table entries per block; bytes at depth 1).",
@@ -125,8 +124,8 @@ def render_table4(fast: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_figure9(fast: bool = False) -> str:
-    rows = exp.figure9(fast=fast)
+def render_figure9(fast: bool = False, runner=None) -> str:
+    rows = exp.figure9(fast=fast, runner=runner)
     lines = [
         "Figure 9: Execution time normalized to Base-DSM "
         "(comp incl. sync / request wait, %).",
@@ -146,8 +145,8 @@ def render_figure9(fast: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_table5(fast: bool = False) -> str:
-    rows = exp.table5(fast=fast)
+def render_table5(fast: bool = False, runner=None) -> str:
+    rows = exp.table5(fast=fast, runner=runner)
     lines = [
         "Table 5: Frequency of requests, speculations, and misspeculations.",
         "(reads/writes: Base-DSM counts; other columns: % of Base-DSM requests)",
@@ -183,11 +182,11 @@ RENDERERS = {
 }
 
 
-def render(name: str, fast: bool = False) -> str:
+def render(name: str, fast: bool = False, runner=None) -> str:
     """Render one experiment as the paper presents it."""
     try:
         renderer = RENDERERS[name]
     except KeyError:
         known = ", ".join(RENDERERS)
         raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
-    return renderer(fast=fast)
+    return renderer(fast=fast, runner=runner)

@@ -1,0 +1,54 @@
+"""Parallel experiment harness: declarative sweeps, workers, caching.
+
+Declare an experiment as a :class:`SweepSpec` grid, execute it with a
+:class:`ParallelRunner` (serial or over worker processes), and let a
+:class:`ResultStore` reuse every point already computed::
+
+    from repro.harness import ParallelRunner, ResultStore, SweepSpec
+
+    spec = SweepSpec(
+        kind="accuracy",
+        axes={"app": ("em3d", "moldyn"), "depth": (1, 2, 4)},
+        base={"iterations": 8},
+    )
+    runner = ParallelRunner(jobs=4, store=ResultStore(".repro-cache"))
+    result = runner.run(spec)
+    best = result.value(app="em3d", depth=4)["runs"]["VMSP"]["accuracy"]
+
+Every point is bit-deterministic (all randomness is seeded through
+``DeterministicRng``), so serial, parallel, and cached executions are
+interchangeable.  See ``docs/harness.md``.
+"""
+
+from repro.harness.runner import (
+    ParallelRunner,
+    SweepError,
+    SweepReport,
+    SweepResult,
+    resolve_jobs,
+)
+from repro.harness.runners import (
+    execute_point,
+    get_runner,
+    register_runner,
+    runner_kinds,
+)
+from repro.harness.spec import SweepPoint, SweepSpec
+from repro.harness.store import MISS, SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "MISS",
+    "ParallelRunner",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SweepError",
+    "SweepPoint",
+    "SweepReport",
+    "SweepResult",
+    "SweepSpec",
+    "execute_point",
+    "get_runner",
+    "register_runner",
+    "resolve_jobs",
+    "runner_kinds",
+]

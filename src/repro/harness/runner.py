@@ -1,0 +1,195 @@
+"""Sweep execution: serial or fanned out over worker processes.
+
+Every sweep point is bit-deterministic — all randomness flows from
+:class:`~repro.common.rng.DeterministicRng` seeds carried in the point's
+parameters — so points can run in any process, in any order, and the
+assembled results are identical to a serial run.  The
+:class:`ParallelRunner` exploits that: it dedupes the expanded grid,
+satisfies what it can from an optional :class:`ResultStore`, executes
+the remainder serially or over a ``ProcessPoolExecutor`` in chunks, and
+returns results in the original grid order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.harness.runners import execute_point
+from repro.harness.spec import SweepPoint, SweepSpec
+from repro.harness.store import MISS, ResultStore
+
+
+class SweepError(RuntimeError):
+    """A sweep point failed or its worker process died."""
+
+
+def _run_chunk(payload: list[tuple[str, dict[str, Any]]]) -> list[Any]:
+    """Worker entry point: execute a chunk of points in one task."""
+    out: list[Any] = []
+    for kind, params in payload:
+        try:
+            out.append(execute_point(kind, params))
+        except Exception as exc:
+            raise SweepError(
+                f"sweep point failed: kind={kind!r} params={params!r} ({exc})"
+            ) from exc
+    return out
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """How a sweep was satisfied: fresh executions vs cache hits."""
+
+    executed: int = 0
+    cached: int = 0
+    jobs: int = 1
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Ordered (point, value) pairs plus an execution report."""
+
+    points: list[SweepPoint]
+    values: list[Any]
+    report: SweepReport = field(default_factory=SweepReport)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def items(self) -> Iterable[tuple[SweepPoint, Any]]:
+        return zip(self.points, self.values)
+
+    def value(self, **filters: Any) -> Any:
+        """The value of the first point matching all given parameters."""
+        for point, value in self.items():
+            if all(point.get(name) == want for name, want in filters.items()):
+                return value
+        raise KeyError(f"no sweep point matches {filters!r}")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value (0 means all cores)."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class ParallelRunner:
+    """Executes sweeps with caching, worker fan-out, and serial fallback.
+
+    * ``jobs``    — worker processes; 0 = all cores, 1 = serial (default),
+    * ``store``   — optional :class:`ResultStore` consulted before and
+      written after execution,
+    * ``refresh`` — recompute every point and overwrite the cache,
+    * ``chunk_size`` — points per worker task (default: grid split into
+      ~4 waves per worker, so stragglers don't serialize the tail).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        store: ResultStore | None = None,
+        refresh: bool = False,
+        chunk_size: int | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.store = store
+        self.refresh = refresh
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        #: Report of the most recent :meth:`run` (None before any run).
+        self.last_report: SweepReport | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, sweep: SweepSpec | Sequence[SweepPoint]) -> SweepResult:
+        """Execute a spec (or explicit point list); order is preserved."""
+        points = list(sweep.points() if isinstance(sweep, SweepSpec) else sweep)
+        report = SweepReport(jobs=self.jobs)
+        unique: list[SweepPoint] = []
+        seen: set[SweepPoint] = set()
+        for point in points:
+            if point not in seen:
+                seen.add(point)
+                unique.append(point)
+
+        results: dict[SweepPoint, Any] = {}
+        pending: list[SweepPoint] = []
+        if self.store is not None and not self.refresh:
+            for point in unique:
+                cached = self.store.load(point)
+                if cached is MISS:
+                    pending.append(point)
+                else:
+                    results[point] = cached
+                    report.cached += 1
+        else:
+            pending = unique
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                fresh = self._run_parallel(pending)
+            else:
+                fresh = [self._execute(point) for point in pending]
+            for point, value in zip(pending, fresh):
+                results[point] = value
+                if self.store is not None:
+                    self.store.store(point, value)
+            report.executed += len(pending)
+
+        self.last_report = report
+        return SweepResult(
+            points=points, values=[results[p] for p in points], report=report
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, point: SweepPoint) -> Any:
+        try:
+            return execute_point(point.kind, point.as_dict())
+        except Exception as exc:
+            raise SweepError(f"sweep point failed: {point!r} ({exc})") from exc
+
+    def _run_parallel(self, pending: list[SweepPoint]) -> list[Any]:
+        workers = min(self.jobs, len(pending))
+        chunk_size = self.chunk_size or max(1, -(-len(pending) // (workers * 4)))
+        chunks = [
+            pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)
+        ]
+        context = self.mp_context
+        if context is None and "fork" in multiprocessing.get_all_start_methods():
+            # fork keeps runner kinds registered by the calling process
+            # (e.g. in tests) visible to the workers.
+            context = multiprocessing.get_context("fork")
+        results: dict[int, list[Any]] = {}
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(
+                    _run_chunk, [(p.kind, p.as_dict()) for p in chunk]
+                ): index
+                for index, chunk in enumerate(chunks)
+            }
+            wait(futures, return_when=FIRST_EXCEPTION)
+            for future, index in futures.items():
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as exc:
+                    raise SweepError(
+                        f"a sweep worker process died while running "
+                        f"{len(chunks[index])} point(s), e.g. {chunks[index][0]!r}; "
+                        f"rerun with jobs=1 to see the failure inline"
+                    ) from exc
+        return [value for index in range(len(chunks)) for value in results[index]]

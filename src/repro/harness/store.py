@@ -1,0 +1,125 @@
+"""Content-addressed, on-disk cache of sweep-point results.
+
+Layout: one JSON file per point under ``<root>/<kind>/<key>.json``,
+where ``key`` is the SHA-256 of the point's canonical parameters plus
+the store's *fingerprint* — a dict of code-relevant configuration (at
+minimum the result schema version, typically also the package version).
+Changing the fingerprint invalidates every cached entry without
+touching the files; re-running a figure with an unchanged fingerprint
+reuses every point it already computed.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or
+concurrent run never leaves a truncated entry behind; unreadable
+entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.common.canonical import canonical_hash
+from repro.harness.spec import SweepPoint
+
+#: Bump when a runner's result schema changes shape or meaning; every
+#: previously cached point then misses.
+SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "no cached result" from a cached ``None``.
+MISS = object()
+
+
+class ResultStore:
+    """A content-addressed JSON store keyed by sweep point + fingerprint."""
+
+    def __init__(
+        self, root: str | os.PathLike, fingerprint: Mapping[str, Any] | None = None
+    ) -> None:
+        from repro import __version__
+
+        self.root = Path(root)
+        self.fingerprint: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "version": __version__,
+        }
+        if fingerprint:
+            self.fingerprint.update(fingerprint)
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def key_for(self, point: SweepPoint) -> str:
+        return canonical_hash(
+            {
+                "kind": point.kind,
+                "params": point.as_dict(),
+                "fingerprint": self.fingerprint,
+            }
+        )
+
+    def path_for(self, point: SweepPoint) -> Path:
+        return self.root / point.kind / f"{self.key_for(point)}.json"
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def load(self, point: SweepPoint) -> Any:
+        """The cached result for ``point``, or :data:`MISS`."""
+        path = self.path_for(point)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and UnicodeDecodeError:
+            # any unreadable entry is a miss, to be recomputed.
+            return MISS
+        if "result" not in entry:
+            return MISS
+        return entry["result"]
+
+    def store(self, point: SweepPoint, result: Any) -> Path:
+        """Atomically persist one point's result; returns its path."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "kind": point.kind,
+            "params": point.as_dict(),
+            "fingerprint": self.fingerprint,
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    def discard(self, point: SweepPoint) -> None:
+        try:
+            self.path_for(point).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        """Cached entries on disk (across *all* fingerprints)."""
+        return len(self._entries())
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        entries = self._entries()
+        for path in entries:
+            path.unlink()
+        return len(entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(root={str(self.root)!r}, entries={len(self)})"

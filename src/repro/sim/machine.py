@@ -100,6 +100,7 @@ class Machine:
         self.barrier = BarrierManager(self.config.num_nodes, self.config, self.events)
         self.locks = LockManager(self.config, self.events)
         self.stats = StatSet()
+        self._request_blocks: dict[str, set[BlockId]] = {}
         self._last_write: dict[NodeId, BlockId] = {}
         self._homes = [HomeDirectory(n, self) for n in range(self.config.num_nodes)]
         self._engines: list[SpeculationEngine] | None = None
@@ -140,10 +141,16 @@ class Machine:
         return self._engines[node_id]
 
     def count_request(self, kind: MessageKind | None, block: BlockId) -> None:
-        del block
+        """Count one home-serviced request, per kind and per block touched.
+
+        Distinct-block counts separate a few hot blocks ping-ponging from
+        genuinely wide sharing; they surface in ``RunResult.counters`` as
+        ``req_<kind>_blocks`` next to the per-kind request totals.
+        """
         if kind is None:
             return
         self.stats.bump(f"req_{kind.value}")
+        self._request_blocks.setdefault(kind.value, set()).add(block)
 
     def note_store_hit(self, pid: NodeId, block: BlockId) -> None:
         """A store hit an exclusively held copy (migratory accounting).
@@ -214,6 +221,9 @@ class Machine:
                 speculation.merge(engine.stats)
         reads = self.stats["req_read"]
         writes = self.stats["req_write"] + self.stats["req_upgrade"]
+        counters = self.stats.as_dict()
+        for kind, blocks in self._request_blocks.items():
+            counters[f"req_{kind}_blocks"] = len(blocks)
         return RunResult(
             mode=self.mode,
             cycles=cycles,
@@ -222,6 +232,6 @@ class Machine:
             sync_cycles=sync,
             read_requests=reads,
             write_requests=writes,
-            counters=self.stats.as_dict(),
+            counters=counters,
             speculation=speculation,
         )

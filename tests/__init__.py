@@ -1,0 +1,6 @@
+"""Test suite for the MSP reproduction.
+
+This package marker exists so shared test infrastructure — notably the
+Hypothesis strategies under ``tests.strategies`` — is importable from
+any test module.  Individual test directories stay plain directories.
+"""

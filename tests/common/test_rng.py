@@ -1,7 +1,8 @@
-"""Tests for deterministic, splittable randomness."""
+"""Tests for deterministic, splittable randomness.
 
-from hypothesis import given
-from hypothesis import strategies as st
+Property-based coverage lives in ``test_rng_properties.py`` so this
+module stays runnable when Hypothesis is not installed.
+"""
 
 from repro.common.rng import DeterministicRng
 
@@ -46,18 +47,3 @@ class TestHelpers:
         rng = DeterministicRng(9)
         assert not any(rng.chance(0.0) for _ in range(50))
         assert all(rng.chance(1.0) for _ in range(50))
-
-    @given(st.integers(min_value=0, max_value=100))
-    def test_randint_within_bounds(self, high):
-        rng = DeterministicRng(3)
-        for _ in range(20):
-            assert 0 <= rng.randint(0, high) <= high
-
-    @given(st.lists(st.integers(), min_size=1, max_size=20), st.integers(0, 2**32))
-    def test_sample_is_subset(self, items, seed):
-        rng = DeterministicRng(seed)
-        k = len(items) // 2
-        sampled = rng.sample(items, k)
-        assert len(sampled) == k
-        for item in sampled:
-            assert item in items

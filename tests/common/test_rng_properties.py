@@ -1,0 +1,126 @@
+"""Property-based tests for DeterministicRng.
+
+These lock in the contracts the parallel harness relies on: streams are
+fully determined by (seed, label path) — independent of sibling
+creation order and of which process draws them — and helper methods
+never mutate caller state.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from tests.strategies import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    STANDARD_SETTINGS,
+    rng_labels,
+    seeds,
+)
+
+pytestmark = pytest.mark.property
+
+
+def _draws(seed, label, count=8):
+    """Worker helper: the first ``count`` draws of a labelled stream."""
+    rng = DeterministicRng(seed, label)
+    return [rng.random() for _ in range(count)]
+
+
+class TestSplitIndependence:
+    @given(
+        seed=seeds(),
+        target=rng_labels(),
+        siblings=st.lists(rng_labels(), max_size=5),
+    )
+    @DETERMINISM_SETTINGS
+    def test_split_stream_independent_of_sibling_creation_order(
+        self, seed, target, siblings
+    ):
+        first = DeterministicRng(seed)
+        stream_before = first.split(target)
+        for label in siblings:
+            first.split(label).random()  # create and consume siblings
+
+        second = DeterministicRng(seed)
+        for label in reversed(siblings):
+            second.split(label).random()
+        stream_after = second.split(target)
+
+        assert [stream_before.random() for _ in range(8)] == [
+            stream_after.random() for _ in range(8)
+        ]
+
+    @given(seed=seeds(), path=st.lists(rng_labels(), min_size=1, max_size=4))
+    @STANDARD_SETTINGS
+    def test_nested_split_depends_only_on_path(self, seed, path):
+        walk = DeterministicRng(seed)
+        for label in path:
+            walk = walk.split(label)
+        direct = DeterministicRng(seed, "/".join(["root", *path]))
+        assert [walk.random() for _ in range(4)] == [
+            direct.random() for _ in range(4)
+        ]
+
+
+class TestCrossProcessIdentity:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as executor:
+            yield executor
+
+    @given(seed=seeds(), label=rng_labels())
+    @QUICK_SETTINGS
+    def test_same_seed_and_label_bit_identical_across_processes(
+        self, pool, seed, label
+    ):
+        local = _draws(seed, label)
+        remote = pool.submit(_draws, seed, label).result(timeout=60)
+        assert local == remote
+
+
+class TestHelperBounds:
+    @given(high=st.integers(min_value=0, max_value=100))
+    @STANDARD_SETTINGS
+    def test_randint_within_bounds(self, high):
+        rng = DeterministicRng(3)
+        for _ in range(20):
+            assert 0 <= rng.randint(0, high) <= high
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=20), seed=seeds())
+    @STANDARD_SETTINGS
+    def test_sample_is_subset(self, items, seed):
+        rng = DeterministicRng(seed)
+        k = len(items) // 2
+        sampled = rng.sample(items, k)
+        assert len(sampled) == k
+        for item in sampled:
+            assert item in items
+
+
+class TestHelperPurity:
+    @given(items=st.lists(st.integers()), seed=seeds())
+    @DETERMINISM_SETTINGS
+    def test_shuffled_never_mutates_its_input(self, items, seed):
+        snapshot = list(items)
+        out = DeterministicRng(seed).shuffled(items)
+        assert items == snapshot
+        assert sorted(out) == sorted(snapshot)
+        assert out is not items
+
+    @given(items=st.lists(st.integers(), min_size=1), seed=seeds())
+    @STANDARD_SETTINGS
+    def test_shuffled_is_deterministic_per_seed(self, items, seed):
+        assert DeterministicRng(seed).shuffled(items) == DeterministicRng(
+            seed
+        ).shuffled(items)

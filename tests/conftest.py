@@ -1,9 +1,25 @@
-"""Shared fixtures for the reproduction's test suite."""
+"""Shared fixtures and collection hooks for the reproduction's tests."""
+
+import sys
+from pathlib import Path
 
 import pytest
 
+# Make ``tests.strategies`` importable no matter where pytest is invoked
+# from (the repo root is only on sys.path when it is the cwd).
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
 from repro.common.rng import DeterministicRng
 from repro.protocol.epochs import BlockScript, ReadEpoch, WriteEpoch
+
+
+def pytest_collection_modifyitems(items):
+    """Integration tests regenerate paper results — mark them slow."""
+    for item in items:
+        if "integration" in item.path.parts:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

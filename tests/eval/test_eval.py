@@ -108,3 +108,132 @@ class TestCli:
         assert cli_main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "418 cycles" in out
+
+    def test_jobs_and_cache_flags(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["figure6", "--jobs", "2", "--cache-dir", str(cache)]
+        assert cli_main(argv) == 0
+        assert "Figure 6" in capsys.readouterr().out
+        assert list(cache.glob("analytic/*.json"))
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["figure6", "--no-cache", "--cache-dir", str(cache)]
+        assert cli_main(argv) == 0
+        assert not cache.exists()
+
+    def test_negative_jobs_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["figure6", "--jobs", "-1", "--cache-dir", str(tmp_path)])
+
+
+class TestSweepSubcommand:
+    def test_arbitrary_grid_prints_json_per_point(self, capsys, tmp_path):
+        import json
+
+        argv = [
+            "sweep",
+            "--kind",
+            "analytic",
+            "--axis",
+            "panel=accuracy,rtl",
+            "--set",
+            "points=3",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["params"] == {"panel": "accuracy", "points": 3}
+        assert first["result"]["series"]
+
+    def test_sweep_reuses_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--kind",
+            "analytic",
+            "--axis",
+            "panel=penalty",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv) == 0
+        assert "1 cached" in capsys.readouterr().err
+
+    def test_config_num_nodes_override_sizes_the_workload(self, capsys, tmp_path):
+        import json
+
+        argv = [
+            "sweep",
+            "--kind",
+            "speculation",
+            "--axis",
+            "app=em3d",
+            "--set",
+            "iterations=4",
+            "--set",
+            'config={"num_nodes": 4}',
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        point = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert point["params"]["config"] == {"num_nodes": 4}
+        assert point["result"]["modes"]["Base-DSM"]["normalized"] == 1.0
+
+    def test_nan_axis_value_treated_as_string(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--kind",
+            "selftest",
+            "--axis",
+            "payload=NaN",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        import json
+
+        point = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert point["params"]["payload"] == "NaN"
+
+    def test_nested_nan_rejected_cleanly(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--kind",
+            "selftest",
+            "--axis",
+            'payload={"x": NaN}',
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 1
+        assert "invalid sweep parameters" in capsys.readouterr().err
+
+    def test_cache_dir_env_var_resolved_at_call_time(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert cli_main(["figure6"]) == 0
+        capsys.readouterr()
+        assert list((tmp_path / "envcache").glob("analytic/*.json"))
+
+    def test_axis_required(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--kind", "analytic", "--cache-dir", str(tmp_path)])
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "sweep",
+                    "--kind",
+                    "nope",
+                    "--axis",
+                    "a=1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )

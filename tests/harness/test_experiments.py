@@ -1,0 +1,80 @@
+"""The paper's experiments executed through the harness.
+
+Includes the PR's acceptance criterion: ``figure8(fast=True)`` run with
+four workers is bit-identical to the serial path, and a second cached
+run re-executes zero sweep points.
+"""
+
+import pytest
+
+from repro.apps.registry import APP_NAMES
+from repro.eval.experiments import (
+    accuracy_spec,
+    figure6,
+    figure7,
+    figure8,
+    speculation_spec,
+)
+from repro.harness import ParallelRunner, ResultStore
+
+
+class TestSpecs:
+    def test_accuracy_spec_covers_all_apps_and_depths(self):
+        points = accuracy_spec(depths=(1, 2, 4)).points()
+        assert len(points) == len(APP_NAMES) * 3
+        assert {p["app"] for p in points} == set(APP_NAMES)
+        assert all(p["iterations"] >= 4 for p in points)
+
+    def test_fast_scales_iterations_down(self):
+        full = {p["app"]: p["iterations"] for p in accuracy_spec(fast=False)}
+        fast = {p["app"]: p["iterations"] for p in accuracy_spec(fast=True)}
+        assert all(fast[app] <= full[app] for app in APP_NAMES)
+
+    def test_speculation_spec_one_point_per_app(self):
+        assert len(speculation_spec().points()) == len(APP_NAMES)
+
+
+class TestFigure6ThroughHarness:
+    def test_parallel_identical_to_serial(self):
+        serial = figure6(points=7)
+        parallel = figure6(points=7, runner=ParallelRunner(jobs=2))
+        assert parallel == serial
+
+    def test_cached_identical_and_free(self, tmp_path):
+        store = ResultStore(tmp_path)
+        warm = ParallelRunner(store=store)
+        first = figure6(points=7, runner=warm)
+        assert warm.last_report.executed == 4
+        second = figure6(points=7, runner=warm)
+        assert warm.last_report.executed == 0
+        assert warm.last_report.cached == 4
+        assert first == second
+
+
+@pytest.mark.slow
+class TestFigure8Acceptance:
+    def test_parallel_then_cached_bit_identical_to_serial(self, tmp_path):
+        serial = figure8(fast=True)
+
+        store = ResultStore(tmp_path)
+        parallel = ParallelRunner(jobs=4, store=store)
+        parallel_rows = figure8(fast=True, runner=parallel)
+        assert parallel_rows == serial  # same dict, bit-for-bit
+        assert parallel.last_report.executed == len(APP_NAMES) * 3
+        assert parallel.last_report.cached == 0
+
+        cached = ParallelRunner(jobs=4, store=store)
+        cached_rows = figure8(fast=True, runner=cached)
+        assert cached_rows == serial
+        assert cached.last_report.executed == 0
+        assert cached.last_report.cached == len(APP_NAMES) * 3
+
+    def test_cache_shared_across_experiments(self, tmp_path):
+        """figure7 is the depth-1 slice of figure8's grid: free if cached."""
+        store = ResultStore(tmp_path)
+        figure8(fast=True, runner=ParallelRunner(jobs=4, store=store))
+        runner = ParallelRunner(store=store)
+        rows = figure7(fast=True, runner=runner)
+        assert runner.last_report.executed == 0
+        assert runner.last_report.cached == len(APP_NAMES)
+        assert set(rows) == set(APP_NAMES)

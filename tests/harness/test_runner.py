@@ -1,0 +1,129 @@
+"""Tests for sweep execution: serial, parallel, cached, and failing."""
+
+import pytest
+
+from repro.harness import (
+    ParallelRunner,
+    ResultStore,
+    SweepError,
+    SweepPoint,
+    SweepSpec,
+    resolve_jobs,
+)
+
+ECHO_SPEC = SweepSpec(kind="selftest", axes={"payload": [1, 2, 3, 4, 5]})
+
+
+def echoes(result):
+    return [value["echo"] for value in result.values]
+
+
+class TestSerialParallelEquivalence:
+    def test_same_spec_same_results(self):
+        serial = ParallelRunner(jobs=1).run(ECHO_SPEC)
+        parallel = ParallelRunner(jobs=3).run(ECHO_SPEC)
+        assert echoes(serial) == echoes(parallel) == [1, 2, 3, 4, 5]
+        assert serial.points == parallel.points
+
+    def test_parallel_executes_in_worker_processes(self):
+        import os
+
+        result = ParallelRunner(jobs=3, chunk_size=1).run(ECHO_SPEC)
+        assert os.getpid() not in {value["pid"] for value in result.values}
+
+    def test_accuracy_kind_bit_identical(self):
+        spec = SweepSpec(
+            kind="accuracy",
+            axes={"app": ["em3d", "ocean"], "depth": [1, 2]},
+            base={"iterations": 4},
+        )
+        serial = ParallelRunner(jobs=1).run(spec)
+        parallel = ParallelRunner(jobs=2).run(spec)
+        assert serial.values == parallel.values
+
+    def test_duplicate_points_executed_once(self):
+        points = SweepPoint.make("selftest", {"payload": 7}), SweepPoint.make(
+            "selftest", {"payload": 7}
+        )
+        result = ParallelRunner(jobs=1).run(list(points))
+        assert result.report.executed == 1
+        assert len(result) == 2
+        assert result.values[0] == result.values[1]
+
+
+class TestCaching:
+    def test_second_run_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = ParallelRunner(jobs=2, store=store).run(ECHO_SPEC)
+        second = ParallelRunner(jobs=2, store=store).run(ECHO_SPEC)
+        assert first.report.executed == 5 and first.report.cached == 0
+        assert second.report.executed == 0 and second.report.cached == 5
+        assert second.values == first.values
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = SweepPoint.make("selftest", {"payload": 1})
+        store.store(point, {"echo": "stale", "pid": -1})
+        result = ParallelRunner(store=store, refresh=True).run([point])
+        assert result.report.executed == 1
+        assert store.load(point)["echo"] == 1
+
+    def test_partial_cache_runs_only_missing_points(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ParallelRunner(store=store).run(ECHO_SPEC.points()[:2])
+        result = ParallelRunner(store=store).run(ECHO_SPEC)
+        assert result.report.cached == 2
+        assert result.report.executed == 3
+        assert echoes(result) == [1, 2, 3, 4, 5]
+
+
+class TestFailures:
+    def test_worker_crash_surfaces_as_error_not_hang(self):
+        spec = SweepSpec(
+            kind="selftest", axes={"payload": [1, 2]}, base={"behavior": "crash"}
+        )
+        with pytest.raises(SweepError, match="worker process died"):
+            ParallelRunner(jobs=2).run(spec)
+
+    def test_point_exception_names_the_point_serial(self):
+        spec = SweepSpec(
+            kind="selftest", axes={"payload": [9]}, base={"behavior": "error"}
+        )
+        with pytest.raises(SweepError, match="payload=9"):
+            ParallelRunner(jobs=1).run(spec)
+
+    def test_point_exception_names_the_point_parallel(self):
+        spec = SweepSpec(
+            kind="selftest", axes={"payload": [8, 9]}, base={"behavior": "error"}
+        )
+        with pytest.raises(SweepError, match="sweep point failed"):
+            ParallelRunner(jobs=2).run(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SweepError, match="unknown runner kind"):
+            ParallelRunner().run([SweepPoint.make("no-such-kind", {})])
+
+    def test_failed_points_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = SweepSpec(
+            kind="selftest", axes={"payload": [1]}, base={"behavior": "error"}
+        )
+        with pytest.raises(SweepError):
+            ParallelRunner(store=store).run(spec)
+        assert len(store) == 0
+
+
+class TestJobs:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+        assert resolve_jobs(0) >= 1  # all cores
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_single_point_falls_back_to_serial(self):
+        result = ParallelRunner(jobs=8).run(ECHO_SPEC.points()[:1])
+        import os
+
+        assert result.values[0]["pid"] == os.getpid()

@@ -1,0 +1,44 @@
+"""Property-based tests for sweep-point identity and hashing.
+
+A counterexample here means cache corruption: two different parameter
+sets sharing a key, or the same parameters hashing differently between
+runs.  Kept in their own module so the rest of the harness suite still
+runs when Hypothesis is not installed.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given
+
+from repro.harness import SweepPoint
+from tests.strategies import DETERMINISM_SETTINGS, sweep_param_dicts, sweep_points
+
+pytestmark = pytest.mark.property
+
+
+class TestPointProperties:
+    @given(params=sweep_param_dicts())
+    @DETERMINISM_SETTINGS
+    def test_any_param_dict_freezes_hashes_and_round_trips(self, params):
+        point = SweepPoint.make("k", params)
+        hash(point)
+        assert len(point.key) == 64
+        rebuilt = SweepPoint.make("k", point.as_dict())
+        assert rebuilt == point
+        assert rebuilt.key == point.key
+
+    @given(params=sweep_param_dicts())
+    @DETERMINISM_SETTINGS
+    def test_insertion_order_never_changes_identity(self, params):
+        reversed_params = dict(reversed(list(params.items())))
+        a = SweepPoint.make("k", params)
+        b = SweepPoint.make("k", reversed_params)
+        assert a == b and a.key == b.key
+
+    @given(point=sweep_points())
+    @DETERMINISM_SETTINGS
+    def test_key_is_stable_across_reconstruction(self, point):
+        clone = SweepPoint.make(point.kind, point.as_dict())
+        assert clone.key == point.key

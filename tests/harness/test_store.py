@@ -1,0 +1,98 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.harness import MISS, ResultStore, SweepPoint
+
+
+@pytest.fixture
+def point():
+    return SweepPoint.make("selftest", {"payload": 1, "behavior": "ok"})
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        result = {"echo": 1, "nested": {"floats": [0.1, 2.5e-3]}}
+        store.store(point, result)
+        assert store.load(point) == result
+
+    def test_missing_point_is_miss_not_none(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        assert store.load(point) is MISS
+        store.store(point, None)
+        assert store.load(point) is None
+
+    def test_floats_round_trip_bit_for_bit(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        values = [0.1 + 0.2, 1 / 3, 1e-300, 6.2831853071795864]
+        store.store(point, values)
+        loaded = store.load(point)
+        assert all(a == b and repr(a) == repr(b) for a, b in zip(values, loaded))
+
+    def test_overwrite_replaces(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        store.store(point, "old")
+        store.store(point, "new")
+        assert store.load(point) == "new"
+        assert len(store) == 1
+
+
+class TestInvalidation:
+    def test_different_params_different_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = SweepPoint.make("selftest", {"payload": 1})
+        b = SweepPoint.make("selftest", {"payload": 2})
+        store.store(a, "A")
+        assert store.load(b) is MISS
+
+    def test_fingerprint_change_invalidates(self, tmp_path, point):
+        old = ResultStore(tmp_path, fingerprint={"block_bytes": 32})
+        old.store(point, "old-config")
+        new = ResultStore(tmp_path, fingerprint={"block_bytes": 64})
+        assert new.load(point) is MISS
+        # ... without destroying the old configuration's entry.
+        assert old.load(point) == "old-config"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        path = store.store(point, {"fine": True})
+        path.write_text("{ truncated", encoding="utf-8")
+        assert store.load(point) is MISS
+
+    def test_non_utf8_entry_is_a_miss(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        path = store.store(point, {"fine": True})
+        path.write_bytes(b"\xff\xfe garbage \x80")
+        assert store.load(point) is MISS
+
+    def test_discard(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        store.store(point, 1)
+        store.discard(point)
+        assert store.load(point) is MISS
+        store.discard(point)  # idempotent
+
+
+class TestMaintenance:
+    def test_layout_is_kind_then_key(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        path = store.store(point, 1)
+        assert path.parent.name == "selftest"
+        assert path.name == f"{store.key_for(point)}.json"
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["params"] == point.as_dict()
+        assert entry["result"] == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for payload in range(3):
+            store.store(SweepPoint.make("selftest", {"payload": payload}), payload)
+        assert len(store) == 3
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_len_on_missing_root(self, tmp_path):
+        assert len(ResultStore(tmp_path / "never-created")) == 0

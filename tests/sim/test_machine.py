@@ -135,3 +135,44 @@ class TestRunResult:
         machine = Machine(workload, config=two_node_config())
         with pytest.raises(RuntimeError, match="stuck"):
             machine.run(max_events=3)
+
+    def test_stuck_simulation_error_names_unfinished_processors(self):
+        workload, _ = simple_workload(iterations=10)
+        machine = Machine(workload, config=two_node_config())
+        with pytest.raises(RuntimeError, match=r"\[0, 1\].*max_events"):
+            machine.run(max_events=1)
+
+
+class TestRequestCounters:
+    def test_distinct_blocks_counted_per_kind(self):
+        builder = WorkloadBuilder("blocks", 2)
+        space = AddressSpace(2)
+        blocks = space.alloc(0, 3)
+        with builder.phase("a"):
+            for block in blocks:
+                builder.read(1, block)
+        with builder.phase("b"):
+            for block in blocks:
+                builder.read(0, block)
+        result = Machine(builder.finish(), config=two_node_config()).run()
+        assert result.counters["req_read"] == 6
+        assert result.counters["req_read_blocks"] == 3
+
+    def test_single_block_ping_pong_counts_one_block(self):
+        builder = WorkloadBuilder("pingpong", 2)
+        space = AddressSpace(2)
+        block = space.alloc_one(0)
+        for _ in range(4):
+            with builder.phase("w0"):
+                builder.write(0, block)
+            with builder.phase("w1"):
+                builder.write(1, block)
+        result = Machine(builder.finish(), config=two_node_config()).run()
+        writes = result.counters["req_write"] + result.counters.get(
+            "req_upgrade", 0
+        )
+        assert writes == 8
+        blocks = result.counters.get("req_write_blocks", 0) + result.counters.get(
+            "req_upgrade_blocks", 0
+        )
+        assert 1 <= blocks <= 2  # one physical block, counted per kind

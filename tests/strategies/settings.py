@@ -1,0 +1,21 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+Tiers:
+
+- ``DETERMINISM_SETTINGS``: 500 examples — hash/canonical/bit-identity
+  properties, where a single counterexample means silent cache
+  corruption or irreproducible experiments,
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests,
+- ``QUICK_SETTINGS``: 20 examples — expensive properties (e.g. ones
+  that cross a process boundary per example).
+
+Deadlines are disabled throughout: the suite runs on single-core CI
+boxes where a forked worker or a first-call import can blow any
+per-example deadline without indicating a real problem.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)

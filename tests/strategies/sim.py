@@ -1,0 +1,52 @@
+"""Strategies for the simulator's identifier spaces.
+
+Block ids follow the reproduction's address layout: the bits above
+``HOME_SHIFT`` name the home node and the low bits index that node's
+private heap (see ``repro.sim.address``), so generated blocks are
+always ones an :class:`~repro.sim.address.AddressSpace` could have
+allocated.
+"""
+
+from hypothesis import strategies as st
+
+from repro.common.config import HOME_SHIFT
+
+#: Widest machine the paper configures; strategies default to it.
+MAX_NODES = 16
+
+
+def node_ids(num_nodes: int = MAX_NODES) -> st.SearchStrategy[int]:
+    """A valid processor/home id for a machine of ``num_nodes``."""
+    return st.integers(min_value=0, max_value=num_nodes - 1)
+
+
+def block_ids(
+    num_nodes: int = MAX_NODES, heap_blocks: int = 1 << 12
+) -> st.SearchStrategy[int]:
+    """A block id with a valid home field and in-range heap offset."""
+    return st.builds(
+        lambda home, offset: (home << HOME_SHIFT) | offset,
+        node_ids(num_nodes),
+        st.integers(min_value=0, max_value=heap_blocks - 1),
+    )
+
+
+def seeds() -> st.SearchStrategy:
+    """An experiment seed: ints and strings are both accepted."""
+    return st.one_of(
+        st.integers(min_value=0, max_value=2**63 - 1),
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=16,
+        ),
+    )
+
+
+def rng_labels() -> st.SearchStrategy[str]:
+    """A stream label for ``DeterministicRng.split``."""
+    return st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    )

@@ -1,0 +1,51 @@
+"""Strategies for harness sweep parameters and points.
+
+Generated parameter values stay inside the JSON model the harness
+requires (strings, ints, finite floats, bools, None, and nested
+lists/dicts of those), so every generated point must freeze, hash,
+serialize, and round-trip without error.
+"""
+
+from hypothesis import strategies as st
+
+from repro.harness.spec import SweepPoint
+
+_PARAM_NAMES = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+
+
+def sweep_param_values() -> st.SearchStrategy:
+    """A JSON-representable parameter value, possibly nested."""
+    return st.recursive(
+        _SCALARS,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(_PARAM_NAMES, children, max_size=4),
+        ),
+        max_leaves=8,
+    )
+
+
+def sweep_param_dicts(max_size: int = 6) -> st.SearchStrategy[dict]:
+    """A concrete parameter assignment for one sweep point."""
+    return st.dictionaries(_PARAM_NAMES, sweep_param_values(), max_size=max_size)
+
+
+def sweep_points(
+    kinds: tuple[str, ...] = ("selftest", "accuracy", "speculation")
+) -> st.SearchStrategy[SweepPoint]:
+    """An arbitrary (not necessarily runnable) sweep point."""
+    return st.builds(
+        SweepPoint.make, st.sampled_from(list(kinds)), sweep_param_dicts()
+    )
