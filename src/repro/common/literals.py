@@ -1,0 +1,29 @@
+"""Best-effort literal parsing shared by the CLI and the HTTP service.
+
+Sweep parameters arrive as text — ``--axis depth=1,2,4`` on the command
+line, ``?depth=4&config={"num_nodes":32}`` in a query string — and must
+end up as canonical-JSON-hashable values so the same parameters address
+the same cache entry no matter which front door they came through.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import json
+
+
+def parse_literal(text: str) -> Any:
+    """Best-effort literal: int, float, bool, null, list/dict, else bare string.
+
+    Non-finite floats (NaN/Infinity) stay bare strings: sweep
+    parameters must be canonical-JSON-hashable.
+    """
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError:
+        return text
+    if isinstance(value, float) and not math.isfinite(value):
+        return text
+    return value

@@ -2,11 +2,12 @@
 
 Usage::
 
-    repro-paper                    # run everything
+    repro-paper                    # reproduce the paper (all its figures/tables)
     repro-paper figure7 table5     # run specific experiments
     repro-paper --fast --jobs 4    # quarter-size runs, 4 worker processes
     repro-paper --refresh figure9  # recompute, ignoring cached points
     repro-paper --list             # list experiment ids
+    repro-paper scaling32          # paper-beyond studies run when named
 
 Grid-shaped experiments execute through the parallel harness: ``--jobs``
 fans sweep points out over worker processes and every computed point is
@@ -19,18 +20,25 @@ paper's own, printing one JSON object per point::
 
     repro-paper sweep --kind accuracy --axis app=em3d,moldyn \\
         --axis depth=1,2,4 --set iterations=8 --jobs 4
+
+The ``serve`` subcommand exposes the same sweep points over HTTP —
+cached results answer instantly, misses are computed in a worker pool
+with request coalescing (see ``docs/service.md``)::
+
+    repro-paper serve --port 8599 --jobs 2
+    curl 'http://127.0.0.1:8599/v1/point?kind=accuracy&app=em3d&depth=2'
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import os
 import sys
 import time
 from typing import Any
 
+from repro.common.literals import parse_literal
 from repro.eval.reporting import RENDERERS, render
 from repro.harness import (
     ParallelRunner,
@@ -88,35 +96,20 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     return ParallelRunner(jobs=args.jobs, store=store, refresh=args.refresh)
 
 
-def _parse_value(text: str) -> Any:
-    """Best-effort literal: int, float, bool, null, else bare string.
-
-    Non-finite floats (NaN/Infinity) stay bare strings: sweep
-    parameters must be canonical-JSON-hashable.
-    """
-    try:
-        value = json.loads(text)
-    except json.JSONDecodeError:
-        return text
-    if isinstance(value, float) and not math.isfinite(value):
-        return text
-    return value
-
-
 def _parse_axis(text: str) -> tuple[str, list[Any]]:
     name, sep, values = text.partition("=")
     if not sep or not name or not values:
         raise argparse.ArgumentTypeError(
             f"expected NAME=V1,V2,... got {text!r}"
         )
-    return name, [_parse_value(v) for v in values.split(",")]
+    return name, [parse_literal(v) for v in values.split(",")]
 
 
 def _parse_setting(text: str) -> tuple[str, Any]:
     name, sep, value = text.partition("=")
     if not sep or not name:
         raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {text!r}")
-    return name, _parse_value(value)
+    return name, parse_literal(value)
 
 
 def _sweep_main(argv: list[str]) -> int:
@@ -172,18 +165,81 @@ def _sweep_main(argv: list[str]) -> int:
     for point, value in result.items():
         print(json.dumps({"params": point.as_dict(), "result": value}))
     report = result.report
+    timing = report.timing_summary()
     print(
         f"[{len(result)} points in {elapsed:.1f}s: {report.executed} executed, "
-        f"{report.cached} cached, jobs={report.jobs}]",
+        f"{report.cached} cached, jobs={report.jobs}"
+        + (f"; {timing}" if timing else "")
+        + "]",
         file=sys.stderr,
     )
     return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.server import run_service
+
+    parser = argparse.ArgumentParser(
+        prog="repro-paper serve",
+        description=(
+            "Serve sweep points over HTTP: cached results answer "
+            "instantly, misses are computed in a worker pool with "
+            "request coalescing.  Endpoints: GET /v1/point, "
+            "POST /v1/sweep, GET /v1/jobs/<id>, GET /v1/experiments, "
+            "GET /healthz, GET /statz.  See docs/service.md."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8599,
+        help="listening port (0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        metavar="N",
+        help="in-flight computation bound before requests get 429",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request compute timeout (responses 504 past it; "
+        "the computation finishes and is cached anyway)",
+    )
+    _add_harness_options(parser)
+    args = parser.parse_args(argv)
+    if args.max_pending < 1:
+        parser.error("--max-pending must be >= 1")
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else cache_dir,
+        refresh=args.refresh,
+        max_pending=args.max_pending,
+        timeout_s=args.timeout,
+    )
+
+    def announce(service) -> None:
+        print(f"repro-paper serve: listening on {service.url}", flush=True)
+
+    return run_service(config, announce)
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-paper",
@@ -211,12 +267,17 @@ def main(argv: list[str] | None = None) -> int:
     _add_harness_options(parser)
     args = parser.parse_args(argv)
 
+    from repro.eval.experiments import EXTRA_EXPERIMENTS, PAPER_EXPERIMENTS
+
     if args.list:
         for name in RENDERERS:
-            print(name)
+            extra = "  (paper-beyond; run explicitly)" if name in EXTRA_EXPERIMENTS else ""
+            print(f"{name}{extra}")
         return 0
 
-    names = args.experiments or list(RENDERERS)
+    # A bare invocation reproduces the paper; paper-beyond studies
+    # (e.g. scaling32) run only when named explicitly.
+    names = args.experiments or list(PAPER_EXPERIMENTS)
     unknown = [n for n in names if n not in RENDERERS]
     if unknown:
         parser.error(
@@ -227,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
     runner = _make_runner(args)
     for name in names:
         started = time.perf_counter()
+        runner.last_report = None  # so table1/table2 don't echo stale timing
         try:
             output = render(name, fast=args.fast, runner=runner)
         except SweepError as exc:
@@ -234,7 +296,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         elapsed = time.perf_counter() - started
         print(output)
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        report = runner.last_report
+        timing = report.timing_summary() if report is not None else ""
+        print(
+            f"[{name} regenerated in {elapsed:.1f}s"
+            + (f"; {timing}" if timing else "")
+            + "]"
+        )
         print()
     return 0
 

@@ -70,11 +70,40 @@ def accuracy_spec(fast: bool = False, depths: tuple[int, ...] = (1,)) -> SweepSp
 
 
 def speculation_spec(fast: bool = False) -> SweepSpec:
-    """The per-app timing-simulator grid behind Figure 9 / Table 5."""
+    """The per-app timing-simulator grid behind Figure 9 / Table 5.
+
+    ``num_procs`` is spelled out (rather than left to the runner's
+    default of 16) so these points are literally the 16-node slice of
+    the ``scaling32`` grid and the two studies share cache entries.
+    """
     iterations = _scale(PERFORMANCE_ITERATIONS, fast)
     return SweepSpec(
         kind="speculation",
         axes={"app": APP_NAMES},
+        base={"num_procs": 16},
+        derive=lambda p: {"iterations": iterations[p["app"]]},
+    )
+
+
+#: Node counts of the paper-beyond scaling study (16 is the paper's
+#: configuration and the comparison anchor).
+SCALING_NODES = (16, 32, 64)
+
+
+def scaling_spec(
+    fast: bool = False, nodes: tuple[int, ...] = SCALING_NODES
+) -> SweepSpec:
+    """The app x node-count grid behind the ``scaling32`` study.
+
+    Each cell goes through the ordinary ``speculation`` runner with a
+    ``num_procs`` override — exactly what ``sweep --kind speculation
+    --axis num_procs=16,32,64`` produces, so service, CLI sweep, and
+    this named experiment all share cache entries.
+    """
+    iterations = _scale(PERFORMANCE_ITERATIONS, fast)
+    return SweepSpec(
+        kind="speculation",
+        axes={"app": APP_NAMES, "num_procs": list(nodes)},
         derive=lambda p: {"iterations": iterations[p["app"]]},
     )
 
@@ -209,6 +238,29 @@ def table5(
     return {point["app"]: value["table5"] for point, value in result.items()}
 
 
+# ----------------------------------------------------------------------
+# paper-beyond studies
+# ----------------------------------------------------------------------
+def scaling32(
+    fast: bool = False, runner: ParallelRunner | None = None
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Scaling study: normalized execution time at 16/32/64 nodes.
+
+    Paper-beyond (ROADMAP "wider scenario grids"): reruns the Figure 9
+    systems with the node count — and with it the workload
+    decomposition — scaled to 32 and 64 nodes.  Rows are
+    ``app -> nodes -> {mode: normalized time}``, each node count
+    normalized to its own Base-DSM run.
+    """
+    result = _run(scaling_spec(fast), runner)
+    rows: dict[str, dict[int, dict[str, float]]] = {}
+    for point, value in result.items():
+        rows.setdefault(point["app"], {})[point["num_procs"]] = {
+            mode: entry["normalized"] for mode, entry in value["modes"].items()
+        }
+    return rows
+
+
 EXPERIMENTS: dict[str, Callable] = {
     "table1": table1,
     "table2": table2,
@@ -219,7 +271,35 @@ EXPERIMENTS: dict[str, Callable] = {
     "table4": table4,
     "figure9": figure9,
     "table5": table5,
+    "scaling32": scaling32,
 }
+
+#: Paper-beyond studies: registered and servable like any experiment but
+#: excluded from a bare ``repro-paper`` run (which reproduces the paper).
+EXTRA_EXPERIMENTS = frozenset({"scaling32"})
+
+#: Experiments a bare ``repro-paper`` invocation regenerates.
+PAPER_EXPERIMENTS = tuple(
+    name for name in EXPERIMENTS if name not in EXTRA_EXPERIMENTS
+)
+
+
+def experiment_catalog() -> list[dict[str, str | bool]]:
+    """Name, one-line description, and provenance of every experiment.
+
+    This is what ``GET /v1/experiments`` serves.
+    """
+    catalog = []
+    for name, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        catalog.append(
+            {
+                "name": name,
+                "description": doc[0] if doc else "",
+                "paper": name not in EXTRA_EXPERIMENTS,
+            }
+        )
+    return catalog
 
 
 def run_experiment(name: str, fast: bool = False, runner: ParallelRunner | None = None):

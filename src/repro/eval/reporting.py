@@ -169,6 +169,28 @@ def render_table5(fast: bool = False, runner=None) -> str:
     return "\n".join(lines)
 
 
+def render_scaling32(fast: bool = False, runner=None) -> str:
+    rows = exp.scaling32(fast=fast, runner=runner)
+    from repro.eval.experiments import SCALING_NODES
+
+    lines = [
+        "Scaling study (paper-beyond): normalized execution time "
+        "at 16/32/64 nodes (%).",
+        "(each node count normalized to its own Base-DSM run)",
+        _rule(78),
+        f"{'Application':<14s}{'nodes':>7s}"
+        + "".join(f"{mode.value:>16s}" for mode in PAPER_MODES),
+    ]
+    for app in APP_NAMES:
+        for nodes in SCALING_NODES:
+            cells = "".join(
+                f"{100 * rows[app][nodes][mode.value]:>16.0f}"
+                for mode in PAPER_MODES
+            )
+            lines.append(f"{app:<14s}{nodes:>7d}{cells}")
+    return "\n".join(lines)
+
+
 RENDERERS = {
     "table1": render_table1,
     "table2": render_table2,
@@ -179,6 +201,7 @@ RENDERERS = {
     "table4": render_table4,
     "figure9": render_figure9,
     "table5": render_table5,
+    "scaling32": render_scaling32,
 }
 
 

@@ -22,6 +22,7 @@ interchangeable.  See ``docs/harness.md``.
 
 from repro.harness.runner import (
     ParallelRunner,
+    PointOutcome,
     SweepError,
     SweepReport,
     SweepResult,
@@ -29,24 +30,35 @@ from repro.harness.runner import (
 )
 from repro.harness.runners import (
     execute_point,
+    execute_point_timed,
     get_runner,
     register_runner,
     runner_kinds,
 )
 from repro.harness.spec import SweepPoint, SweepSpec
-from repro.harness.store import MISS, SCHEMA_VERSION, ResultStore
+from repro.harness.store import (
+    ENTRY_VERSION,
+    MISS,
+    SCHEMA_VERSION,
+    ResultStore,
+    StoredEntry,
+)
 
 __all__ = [
+    "ENTRY_VERSION",
     "MISS",
     "ParallelRunner",
+    "PointOutcome",
     "ResultStore",
     "SCHEMA_VERSION",
+    "StoredEntry",
     "SweepError",
     "SweepPoint",
     "SweepReport",
     "SweepResult",
     "SweepSpec",
     "execute_point",
+    "execute_point_timed",
     "get_runner",
     "register_runner",
     "resolve_jobs",

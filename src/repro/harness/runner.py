@@ -1,4 +1,4 @@
-"""Sweep execution: serial or fanned out over worker processes.
+"""Sweep execution: serial, fanned out over workers, or incremental.
 
 Every sweep point is bit-deterministic — all randomness flows from
 :class:`~repro.common.rng.DeterministicRng` seeds carried in the point's
@@ -8,19 +8,34 @@ assembled results are identical to a serial run.  The
 satisfies what it can from an optional :class:`ResultStore`, executes
 the remainder serially or over a ``ProcessPoolExecutor`` in chunks, and
 returns results in the original grid order.
+
+Beyond batch :meth:`ParallelRunner.run`, the runner can be driven
+incrementally — :meth:`~ParallelRunner.submit_point` returns a
+:class:`concurrent.futures.Future` per point, which is what the HTTP
+service front-end (:mod:`repro.service`) builds on: an event loop
+submits points as requests arrive and awaits their futures instead of
+blocking on a whole grid.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from collections.abc import Iterable, Sequence
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.harness.runners import execute_point
+from repro.harness.runners import execute_point_timed
 from repro.harness.spec import SweepPoint, SweepSpec
 from repro.harness.store import MISS, ResultStore
 
@@ -29,12 +44,12 @@ class SweepError(RuntimeError):
     """A sweep point failed or its worker process died."""
 
 
-def _run_chunk(payload: list[tuple[str, dict[str, Any]]]) -> list[Any]:
+def _run_chunk(payload: list[tuple[str, dict[str, Any]]]) -> list[tuple[Any, float]]:
     """Worker entry point: execute a chunk of points in one task."""
-    out: list[Any] = []
+    out: list[tuple[Any, float]] = []
     for kind, params in payload:
         try:
-            out.append(execute_point(kind, params))
+            out.append(execute_point_timed(kind, params))
         except Exception as exc:
             raise SweepError(
                 f"sweep point failed: kind={kind!r} params={params!r} ({exc})"
@@ -49,10 +64,40 @@ class SweepReport:
     executed: int = 0
     cached: int = 0
     jobs: int = 1
+    #: Total wall-clock seconds spent inside freshly executed points
+    #: (summed across workers, so it can exceed elapsed wall time).
+    executed_seconds: float = 0.0
+    #: The slowest freshly executed point, in seconds (straggler bound).
+    max_point_seconds: float = 0.0
+    #: Compute seconds the cache saved — the sum of recorded ``elapsed_s``
+    #: over cache hits (hits on pre-timing entries contribute nothing).
+    saved_seconds: float = 0.0
 
     @property
     def total(self) -> int:
         return self.executed + self.cached
+
+    def note_executed(self, elapsed_s: float) -> None:
+        self.executed += 1
+        self.executed_seconds += elapsed_s
+        self.max_point_seconds = max(self.max_point_seconds, elapsed_s)
+
+    def note_cached(self, elapsed_s: float | None) -> None:
+        self.cached += 1
+        if elapsed_s:
+            self.saved_seconds += elapsed_s
+
+    def timing_summary(self) -> str:
+        """Human-readable per-point timing, e.g. for the CLI status line."""
+        parts = []
+        if self.executed:
+            avg = self.executed_seconds / self.executed
+            parts.append(
+                f"avg {avg:.2f}s/pt, max {self.max_point_seconds:.2f}s"
+            )
+        if self.saved_seconds:
+            parts.append(f"cache saved ~{self.saved_seconds:.1f}s")
+        return "; ".join(parts)
 
 
 @dataclass(slots=True)
@@ -77,6 +122,18 @@ class SweepResult:
         raise KeyError(f"no sweep point matches {filters!r}")
 
 
+@dataclass(frozen=True, slots=True)
+class PointOutcome:
+    """One incrementally executed point: its value and how it was had."""
+
+    value: Any
+    #: Compute wall seconds — of this execution for fresh points, of the
+    #: original execution for cache hits (None on pre-timing entries).
+    elapsed_s: float | None
+    #: True when the value came from the :class:`ResultStore`.
+    cached: bool
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` value (0 means all cores)."""
     if jobs is None:
@@ -88,6 +145,14 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    if "fork" in multiprocessing.get_all_start_methods():
+        # fork keeps runner kinds registered by the calling process
+        # (e.g. in tests) visible to the workers.
+        return multiprocessing.get_context("fork")
+    return None
+
+
 class ParallelRunner:
     """Executes sweeps with caching, worker fan-out, and serial fallback.
 
@@ -97,6 +162,12 @@ class ParallelRunner:
     * ``refresh`` — recompute every point and overwrite the cache,
     * ``chunk_size`` — points per worker task (default: grid split into
       ~4 waves per worker, so stragglers don't serialize the tail).
+
+    Batch mode (:meth:`run`) executes a whole grid and blocks.
+    Incremental mode (:meth:`submit_point`) executes one point at a time
+    on a persistent pool and returns a future — with ``jobs > 1`` the
+    pool is worker processes, with ``jobs == 1`` a single background
+    thread (identical results; keeps a driving event loop responsive).
     """
 
     def __init__(
@@ -114,7 +185,11 @@ class ParallelRunner:
         self.mp_context = mp_context
         #: Report of the most recent :meth:`run` (None before any run).
         self.last_report: SweepReport | None = None
+        self._incremental: Executor | None = None
+        self._incremental_lock = threading.Lock()
 
+    # ------------------------------------------------------------------
+    # batch execution
     # ------------------------------------------------------------------
     def run(self, sweep: SweepSpec | Sequence[SweepPoint]) -> SweepResult:
         """Execute a spec (or explicit point list); order is preserved."""
@@ -131,12 +206,12 @@ class ParallelRunner:
         pending: list[SweepPoint] = []
         if self.store is not None and not self.refresh:
             for point in unique:
-                cached = self.store.load(point)
-                if cached is MISS:
+                entry = self.store.load_entry(point)
+                if entry is MISS:
                     pending.append(point)
                 else:
-                    results[point] = cached
-                    report.cached += 1
+                    results[point] = entry.result
+                    report.note_cached(entry.elapsed_s)
         else:
             pending = unique
 
@@ -145,11 +220,11 @@ class ParallelRunner:
                 fresh = self._run_parallel(pending)
             else:
                 fresh = [self._execute(point) for point in pending]
-            for point, value in zip(pending, fresh):
+            for point, (value, elapsed) in zip(pending, fresh):
                 results[point] = value
                 if self.store is not None:
-                    self.store.store(point, value)
-            report.executed += len(pending)
+                    self.store.store(point, value, elapsed_s=elapsed)
+                report.note_executed(elapsed)
 
         self.last_report = report
         return SweepResult(
@@ -157,24 +232,20 @@ class ParallelRunner:
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, point: SweepPoint) -> Any:
+    def _execute(self, point: SweepPoint) -> tuple[Any, float]:
         try:
-            return execute_point(point.kind, point.as_dict())
+            return execute_point_timed(point.kind, point.as_dict())
         except Exception as exc:
             raise SweepError(f"sweep point failed: {point!r} ({exc})") from exc
 
-    def _run_parallel(self, pending: list[SweepPoint]) -> list[Any]:
+    def _run_parallel(self, pending: list[SweepPoint]) -> list[tuple[Any, float]]:
         workers = min(self.jobs, len(pending))
         chunk_size = self.chunk_size or max(1, -(-len(pending) // (workers * 4)))
         chunks = [
             pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)
         ]
-        context = self.mp_context
-        if context is None and "fork" in multiprocessing.get_all_start_methods():
-            # fork keeps runner kinds registered by the calling process
-            # (e.g. in tests) visible to the workers.
-            context = multiprocessing.get_context("fork")
-        results: dict[int, list[Any]] = {}
+        context = self.mp_context or _fork_context()
+        results: dict[int, list[tuple[Any, float]]] = {}
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             futures = {
                 pool.submit(
@@ -193,3 +264,114 @@ class ParallelRunner:
                         f"rerun with jobs=1 to see the failure inline"
                     ) from exc
         return [value for index in range(len(chunks)) for value in results[index]]
+
+    # ------------------------------------------------------------------
+    # incremental execution (submit/poll, used by the service layer)
+    # ------------------------------------------------------------------
+    def cached_outcome(self, point: SweepPoint) -> PointOutcome | None:
+        """The stored outcome for ``point``, or None (miss / no store)."""
+        if self.store is None or self.refresh:
+            return None
+        entry = self.store.load_entry(point)
+        if entry is MISS:
+            return None
+        return PointOutcome(value=entry.result, elapsed_s=entry.elapsed_s, cached=True)
+
+    def submit_point(self, point: SweepPoint) -> "Future[PointOutcome]":
+        """Submit one point for execution; returns a future of its outcome.
+
+        Cache hits resolve immediately without touching the pool.  On a
+        miss the point runs on the persistent incremental pool and the
+        result (with its wall time) is written back to the store before
+        the future resolves, so a concurrent batch run or another
+        service replica sharing the cache dir sees it.
+        """
+        cached = self.cached_outcome(point)
+        if cached is not None:
+            done: Future[PointOutcome] = Future()
+            done.set_result(cached)
+            return done
+
+        pool = self._ensure_incremental()
+        try:
+            inner = pool.submit(execute_point_timed, point.kind, point.as_dict())
+        except BrokenProcessPool:
+            # an earlier point killed a worker; rebuild the pool once so
+            # one crash doesn't poison every later submission.
+            self._discard_incremental(pool)
+            pool = self._ensure_incremental()
+            inner = pool.submit(execute_point_timed, point.kind, point.as_dict())
+
+        outer: Future[PointOutcome] = Future()
+
+        def _finish(fut: "Future[tuple[Any, float]]") -> None:
+            if fut.cancelled():
+                # close()/_discard_incremental cancel queued work; the
+                # outer future must still resolve or waiters hang.
+                outer.set_exception(
+                    SweepError(f"sweep point cancelled before running: {point!r}")
+                )
+                return
+            exc = fut.exception()
+            if exc is not None:
+                if isinstance(exc, BrokenProcessPool):
+                    self._discard_incremental(pool)
+                outer.set_exception(
+                    SweepError(f"sweep point failed: {point!r} ({exc})")
+                )
+                return
+            value, elapsed = fut.result()
+            if self.store is not None:
+                try:
+                    self.store.store(point, value, elapsed_s=elapsed)
+                except OSError:
+                    pass  # a full/readonly cache degrades to recomputes
+            outer.set_result(
+                PointOutcome(value=value, elapsed_s=elapsed, cached=False)
+            )
+
+        inner.add_done_callback(_finish)
+        return outer
+
+    def _ensure_incremental(self) -> Executor:
+        with self._incremental_lock:
+            if self._incremental is None:
+                if self.jobs > 1:
+                    self._incremental = ProcessPoolExecutor(
+                        max_workers=self.jobs,
+                        mp_context=self.mp_context or _fork_context(),
+                    )
+                else:
+                    self._incremental = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="repro-point"
+                    )
+            return self._incremental
+
+    def _discard_incremental(self, pool: Executor) -> None:
+        """Drop a broken pool so the next submission builds a fresh one.
+
+        Identity-guarded: a straggler failure callback from an already
+        replaced pool must not tear down its healthy successor.
+        """
+        with self._incremental_lock:
+            if self._incremental is pool:
+                self._incremental = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def incremental_started(self) -> bool:
+        """True once a cache miss has forced the pool into existence."""
+        return self._incremental is not None
+
+    def close(self) -> None:
+        """Shut down the incremental pool (no-op if never started)."""
+        with self._incremental_lock:
+            pool, self._incremental = self._incremental, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

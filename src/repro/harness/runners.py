@@ -14,6 +14,7 @@ processes can resolve them by name after importing this module.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable, Mapping
 from typing import Any
 
@@ -49,6 +50,18 @@ def runner_kinds() -> tuple[str, ...]:
 def execute_point(kind: str, params: Mapping[str, Any]) -> Any:
     """Execute one sweep cell in the current process."""
     return get_runner(kind)(dict(params))
+
+
+def execute_point_timed(kind: str, params: Mapping[str, Any]) -> tuple[Any, float]:
+    """Execute one sweep cell, returning ``(result, wall_seconds)``.
+
+    The measured wall time travels back from worker processes alongside
+    the result and is persisted in :class:`~repro.harness.store.ResultStore`
+    entries, feeding straggler statistics and the service's ``/statz``.
+    """
+    started = time.perf_counter()
+    result = execute_point(kind, params)
+    return result, time.perf_counter() - started
 
 
 # ----------------------------------------------------------------------

@@ -8,16 +8,28 @@ Changing the fingerprint invalidates every cached entry without
 touching the files; re-running a figure with an unchanged fingerprint
 reuses every point it already computed.
 
-Writes are atomic (temp file + ``os.replace``), so a crashed or
-concurrent run never leaves a truncated entry behind; unreadable
-entries are treated as misses and overwritten.
+Entries carry a small amount of metadata beyond the result itself —
+currently the wall-clock seconds the point took to compute
+(``elapsed_s``), the first half of straggler-aware scheduling.  The
+entry format is versioned separately from the fingerprint
+(``ENTRY_VERSION``): adding a metadata field bumps the entry version
+but *not* the fingerprint, so caches written before the field existed
+still load (their metadata just reads as absent).
+
+Writes are atomic (unique temp file + ``os.replace``), so a crashed or
+concurrent writer — another process *or* another thread of this one,
+e.g. a running ``repro serve`` sharing a cache dir with a CLI sweep —
+never leaves a truncated entry behind; unreadable entries are treated
+as misses and overwritten.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from collections.abc import Mapping
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -28,8 +40,24 @@ from repro.harness.spec import SweepPoint
 #: previously cached point then misses.
 SCHEMA_VERSION = 1
 
+#: Version of the entry *file* format (metadata fields around the
+#: result).  Bumping this does NOT invalidate caches — readers accept
+#: any version and treat missing metadata as absent.
+#: v1: kind/params/fingerprint/result.  v2: + elapsed_s.
+ENTRY_VERSION = 2
+
 #: Sentinel distinguishing "no cached result" from a cached ``None``.
 MISS = object()
+
+
+@dataclass(frozen=True, slots=True)
+class StoredEntry:
+    """A cached result plus its per-point metadata."""
+
+    result: Any
+    #: Wall-clock seconds the original computation took, or ``None``
+    #: for entries written before timing was recorded (entry v1).
+    elapsed_s: float | None = None
 
 
 class ResultStore:
@@ -66,8 +94,8 @@ class ResultStore:
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
-    def load(self, point: SweepPoint) -> Any:
-        """The cached result for ``point``, or :data:`MISS`."""
+    def load_entry(self, point: SweepPoint) -> Any:
+        """The cached :class:`StoredEntry` for ``point``, or :data:`MISS`."""
         path = self.path_for(point)
         try:
             with path.open("r", encoding="utf-8") as handle:
@@ -76,24 +104,52 @@ class ResultStore:
             # ValueError covers JSONDecodeError and UnicodeDecodeError:
             # any unreadable entry is a miss, to be recomputed.
             return MISS
-        if "result" not in entry:
+        if not isinstance(entry, dict) or "result" not in entry:
             return MISS
-        return entry["result"]
+        elapsed = entry.get("elapsed_s")
+        if not isinstance(elapsed, (int, float)):
+            elapsed = None
+        return StoredEntry(result=entry["result"], elapsed_s=elapsed)
 
-    def store(self, point: SweepPoint, result: Any) -> Path:
-        """Atomically persist one point's result; returns its path."""
+    def load(self, point: SweepPoint) -> Any:
+        """The cached result for ``point``, or :data:`MISS`."""
+        entry = self.load_entry(point)
+        return entry if entry is MISS else entry.result
+
+    def store(
+        self, point: SweepPoint, result: Any, elapsed_s: float | None = None
+    ) -> Path:
+        """Atomically persist one point's result; returns its path.
+
+        The temp file gets a name unique per writer (``mkstemp``), so
+        concurrent writers — other processes or other threads of this
+        one — cannot collide on the staging file; the final rename is
+        atomic either way.
+        """
         path = self.path_for(point)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
+            "entry_version": ENTRY_VERSION,
             "kind": point.kind,
             "params": point.as_dict(),
             "fingerprint": self.fingerprint,
             "result": result,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True, indent=1)
-        os.replace(tmp, path)
+        if elapsed_s is not None:
+            entry["elapsed_s"] = elapsed_s
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     def discard(self, point: SweepPoint) -> None:

@@ -1,0 +1,53 @@
+"""Prediction-accuracy-as-a-service: an HTTP front-end over the harness.
+
+The reproduction's quantitative claims are all sweep points —
+deterministic, content-addressed, cacheable — so serving them is a
+cache problem, not a compute problem.  This package exposes the
+experiment harness over HTTP/1.1 (stdlib ``asyncio`` only, no new
+dependencies):
+
+* ``GET /v1/point``    — one sweep point; instant on cache hit, computed
+  in a :class:`~repro.harness.ParallelRunner`-backed pool on miss, with
+  request coalescing, bounded-queue backpressure (429), and timeouts.
+* ``POST /v1/sweep``   — submit a whole grid as a background job.
+* ``GET /v1/jobs/...`` — poll job progress and fetch results.
+* ``GET /v1/experiments`` — the named paper figures/tables and kinds.
+* ``GET /healthz``, ``GET /statz`` — liveness and serving statistics.
+
+Start it with ``repro-paper serve`` or programmatically::
+
+    from repro.service import ReproService, ServiceConfig
+
+    service = ReproService(ServiceConfig(port=0))   # ephemeral port
+    await service.start()
+    print(service.url)
+
+See ``docs/service.md``.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.jobs import (
+    ComputePool,
+    JobTable,
+    PointTimeout,
+    PoolSaturated,
+    ServiceStats,
+    SweepJob,
+)
+from repro.service.server import ReproService, ServiceConfig
+from repro.service.wire import Request, Response, WireError
+
+__all__ = [
+    "ComputePool",
+    "JobTable",
+    "PointTimeout",
+    "PoolSaturated",
+    "ReproService",
+    "Request",
+    "Response",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceStats",
+    "SweepJob",
+    "WireError",
+]

@@ -1,0 +1,246 @@
+"""Endpoint semantics: map parsed requests onto the harness.
+
+Transport-agnostic by construction — a :class:`ServiceApp` turns a
+:class:`~repro.service.wire.Request` into a
+:class:`~repro.service.wire.Response` and never touches a socket, so
+tests can drive it without a server and the server stays dumb plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.common.literals import parse_literal
+from repro.harness import SweepError, SweepPoint, SweepSpec, runner_kinds
+from repro.service.jobs import ComputePool, JobTable, PointTimeout, PoolSaturated
+from repro.service.wire import Request, Response, error_response
+
+#: Largest grid a single POST /v1/sweep may expand to.
+MAX_SWEEP_POINTS = 1024
+
+#: Reserved /v1/point query parameters (everything else is a point param).
+_TIMEOUT_PARAM = "_timeout_s"
+
+#: Runner kinds the service refuses to execute: ``selftest`` exists to
+#: exercise harness failure paths and can deliberately kill its host
+#: process (``behavior=crash``) — a remote client must not reach it.
+UNSERVABLE_KINDS = frozenset({"selftest"})
+
+#: How long a computed cache-entry count stays fresh in ``/statz``
+#: (counting is a directory scan; monitoring pollers shouldn't pay it
+#: on every request).
+_CACHE_COUNT_TTL_S = 5.0
+
+
+class ServiceApp:
+    """Routes requests to the shared compute pool and job table."""
+
+    def __init__(self, pool: ComputePool, jobs: JobTable) -> None:
+        self.pool = pool
+        self.jobs = jobs
+        self.started_at = time.time()
+        self._cache_count: tuple[float, int | None] | None = None
+
+    def servable_kinds(self) -> tuple[str, ...]:
+        return tuple(k for k in runner_kinds() if k not in UNSERVABLE_KINDS)
+
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        route = (request.method, request.path)
+        if request.path == "/healthz":
+            return self._require_get(request, self._healthz)
+        if request.path == "/statz":
+            return self._require_get(request, self._statz)
+        if request.path == "/v1/experiments":
+            return self._require_get(request, self._experiments)
+        if request.path == "/v1/point":
+            if request.method != "GET":
+                return error_response(405, "use GET /v1/point")
+            return await self._point(request)
+        if request.path == "/v1/sweep":
+            if request.method != "POST":
+                return error_response(405, "use POST /v1/sweep")
+            return self._sweep(request)
+        if request.path == "/v1/jobs":
+            return self._require_get(request, lambda _r: self._job_list())
+        if request.path.startswith("/v1/jobs/"):
+            if request.method != "GET":
+                return error_response(405, "use GET /v1/jobs/<id>")
+            return self._job_status(request)
+        return error_response(404, f"no such endpoint: {route[0]} {route[1]}")
+
+    def _require_get(self, request: Request, handler) -> Response:
+        if request.method != "GET":
+            return error_response(405, f"use GET {request.path}")
+        return handler(request)
+
+    # ------------------------------------------------------------------
+    # health and stats
+    # ------------------------------------------------------------------
+    def _healthz(self, request: Request) -> Response:
+        return Response(
+            payload={
+                "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+            }
+        )
+
+    def _statz(self, request: Request) -> Response:
+        runner = self.pool.runner
+        snapshot = self.pool.stats.snapshot(
+            in_flight=self.pool.in_flight, queue_bound=self.pool.max_pending
+        )
+        snapshot["jobs"] = {
+            "total": len(self.jobs.jobs()),
+            "running": sum(1 for j in self.jobs.jobs() if j.state == "running"),
+        }
+        # NOTE: ResultStore defines __len__, so an empty store is falsy —
+        # these checks must be identity checks, not truthiness.
+        store = runner.store
+        snapshot["runner"] = {
+            "jobs": runner.jobs,
+            "pool_started": runner.incremental_started,
+            "cache_dir": str(store.root) if store is not None else None,
+            "cache_entries": self._count_cache_entries(),
+        }
+        return Response(payload=snapshot)
+
+    def _count_cache_entries(self) -> int | None:
+        """len(store), amortized: the scan result is reused for a few seconds."""
+        if self.pool.runner.store is None:
+            return None
+        now = time.monotonic()
+        if self._cache_count is None or now - self._cache_count[0] > _CACHE_COUNT_TTL_S:
+            self._cache_count = (now, len(self.pool.runner.store))
+        return self._cache_count[1]
+
+    def _experiments(self, request: Request) -> Response:
+        from repro.eval.experiments import experiment_catalog
+
+        return Response(
+            payload={
+                "experiments": experiment_catalog(),
+                "kinds": list(self.servable_kinds()),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # points
+    # ------------------------------------------------------------------
+    async def _point(self, request: Request) -> Response:
+        started = time.perf_counter()
+        kind = request.query.get("kind")
+        if not kind:
+            return error_response(400, "missing required query parameter 'kind'")
+        if kind not in self.servable_kinds():
+            return error_response(
+                400,
+                f"unknown kind {kind!r} (known: {', '.join(self.servable_kinds())})",
+            )
+        timeout_s: Any = None
+        params: dict[str, Any] = {}
+        for name, raw in request.query.items():
+            if name == "kind":
+                continue
+            if name == _TIMEOUT_PARAM:
+                try:
+                    timeout_s = float(raw)
+                except ValueError:
+                    return error_response(400, f"bad {_TIMEOUT_PARAM}: {raw!r}")
+                continue
+            if name.startswith("_"):
+                return error_response(400, f"unknown reserved parameter {name!r}")
+            params[name] = parse_literal(raw)
+        try:
+            point = SweepPoint.make(kind, params)
+        except (TypeError, ValueError) as exc:
+            return error_response(400, f"invalid point parameters: {exc}")
+
+        fetch_kwargs: dict[str, Any] = {}
+        if timeout_s is not None:
+            fetch_kwargs["timeout_s"] = timeout_s
+        try:
+            outcome = await self.pool.fetch(point, **fetch_kwargs)
+        except PoolSaturated as exc:
+            return error_response(
+                429, str(exc), retry_after_s=1.0
+            )
+        except PointTimeout as exc:
+            return error_response(504, str(exc))
+        except SweepError as exc:
+            return error_response(500, str(exc))
+        return Response(
+            payload={
+                "kind": kind,
+                "params": point.as_dict(),
+                "key": point.key,
+                "result": outcome.value,
+                "cached": outcome.cached,
+                "elapsed_s": outcome.elapsed_s,
+                "wall_ms": round(1000.0 * (time.perf_counter() - started), 3),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # sweep jobs
+    # ------------------------------------------------------------------
+    def _sweep(self, request: Request) -> Response:
+        try:
+            body = request.json()
+        except Exception as exc:  # WireError
+            return error_response(400, str(exc))
+        if not isinstance(body, dict):
+            return error_response(400, "sweep body must be a JSON object")
+        kind = body.get("kind")
+        if not isinstance(kind, str) or kind not in self.servable_kinds():
+            return error_response(
+                400,
+                "sweep body needs a known 'kind' "
+                f"(known: {', '.join(self.servable_kinds())})",
+            )
+        axes = body.get("axes") or {}
+        base = body.get("base") or {}
+        if not isinstance(axes, dict) or not all(
+            isinstance(values, list) for values in axes.values()
+        ):
+            return error_response(400, "'axes' must map names to value lists")
+        if not isinstance(base, dict):
+            return error_response(400, "'base' must be a JSON object")
+        if not axes:
+            return error_response(400, "at least one axis is required")
+        try:
+            points = SweepSpec(kind=kind, axes=axes, base=base).points()
+        except (TypeError, ValueError) as exc:
+            return error_response(400, f"invalid sweep grid: {exc}")
+        if len(points) > MAX_SWEEP_POINTS:
+            return error_response(
+                413,
+                f"grid expands to {len(points)} points "
+                f"(limit {MAX_SWEEP_POINTS}); split the sweep",
+            )
+        try:
+            job = self.jobs.submit(kind, points)
+        except PoolSaturated as exc:
+            return error_response(429, str(exc), retry_after_s=5.0)
+        return Response(
+            status=202,
+            payload={
+                "job": job.id,
+                "points": len(points),
+                "poll": f"/v1/jobs/{job.id}",
+            },
+        )
+
+    def _job_list(self) -> Response:
+        return Response(
+            payload={"jobs": [job.status() for job in self.jobs.jobs()]}
+        )
+
+    def _job_status(self, request: Request) -> Response:
+        job_id = request.path.removeprefix("/v1/jobs/")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return error_response(404, f"no such job: {job_id!r}")
+        include_results = request.query.get("results") in ("1", "true", "yes")
+        return Response(payload=job.status(include_results=include_results))

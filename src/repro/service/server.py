@@ -1,0 +1,183 @@
+"""The asyncio server: sockets in, :class:`ServiceApp` responses out.
+
+One task per connection, HTTP/1.1 keep-alive with an idle timeout,
+bounded request framing from :mod:`repro.service.wire`, and a graceful
+stop that drains in-flight computations so their results still land in
+the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.harness import ParallelRunner, ResultStore
+from repro.service.app import ServiceApp
+from repro.service.jobs import ComputePool, JobTable
+from repro.service.wire import (
+    WireError,
+    error_response,
+    read_request,
+    read_start_line,
+    write_response,
+)
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Everything ``repro-paper serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8599
+    jobs: int = 1
+    cache_dir: str | None = ".repro-cache"
+    refresh: bool = False
+    max_pending: int = 16
+    timeout_s: float | None = 60.0
+    keep_alive_s: float = 10.0
+    #: How long a request may take to arrive once its first line has;
+    #: distinct from the idle timeout — a slow upload is not an idle
+    #: connection (it gets a 408, not a silent close).
+    request_timeout_s: float = 30.0
+    job_concurrency: int = 2
+
+
+class ReproService:
+    """Owns the runner, pool, job table, app, and listening socket."""
+
+    def __init__(
+        self, config: ServiceConfig | None = None, runner: ParallelRunner | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if runner is None:
+            store = (
+                ResultStore(self.config.cache_dir)
+                if self.config.cache_dir is not None
+                else None
+            )
+            runner = ParallelRunner(
+                jobs=self.config.jobs, store=store, refresh=self.config.refresh
+            )
+        self.runner = runner
+        self.pool = ComputePool(
+            runner,
+            max_pending=self.config.max_pending,
+            timeout_s=self.config.timeout_s,
+        )
+        self.jobs = JobTable(self.pool, concurrency=self.config.job_concurrency)
+        self.app = ServiceApp(self.pool, self.jobs)
+        self._server: asyncio.Server | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> "ReproService":
+        if self._server is not None:
+            raise RuntimeError("service is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight computations, free the pool."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self.pool.drain()
+        self.runner.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    # idle timeout: waiting for the next request to START.
+                    start_line = await asyncio.wait_for(
+                        read_start_line(reader), timeout=self.config.keep_alive_s
+                    )
+                    if not start_line:
+                        break  # client closed cleanly
+                    # request timeout: receiving the REST of it.
+                    try:
+                        request = await asyncio.wait_for(
+                            read_request(reader, start_line=start_line),
+                            timeout=self.config.request_timeout_s,
+                        )
+                    except asyncio.TimeoutError:
+                        await write_response(
+                            writer,
+                            error_response(
+                                408,
+                                "request did not arrive within "
+                                f"{self.config.request_timeout_s}s",
+                            ),
+                            keep_alive=False,
+                        )
+                        break
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection
+                except WireError as exc:
+                    await write_response(
+                        writer,
+                        error_response(exc.status, exc.message),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break  # unreachable with a non-empty start line
+                try:
+                    response = await self.app.handle(request)
+                except Exception as exc:  # noqa: BLE001 — last-resort 500
+                    response = error_response(
+                        500, f"internal error: {type(exc).__name__}: {exc}"
+                    )
+                await write_response(writer, response, keep_alive=request.keep_alive)
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def _serve(config: ServiceConfig, announce) -> None:
+    service = ReproService(config)
+    await service.start()
+    announce(service)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()
+
+
+def run_service(config: ServiceConfig, announce=lambda service: None) -> int:
+    """Blocking entry point used by ``repro-paper serve``; 0 on clean exit."""
+    try:
+        asyncio.run(_serve(config, announce))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -9,10 +9,16 @@ import pytest
 
 from repro.apps.registry import APP_NAMES
 from repro.eval.experiments import (
+    EXPERIMENTS,
+    EXTRA_EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    SCALING_NODES,
     accuracy_spec,
+    experiment_catalog,
     figure6,
     figure7,
     figure8,
+    scaling_spec,
     speculation_spec,
 )
 from repro.harness import ParallelRunner, ResultStore
@@ -32,6 +38,57 @@ class TestSpecs:
 
     def test_speculation_spec_one_point_per_app(self):
         assert len(speculation_spec().points()) == len(APP_NAMES)
+
+    def test_scaling_spec_covers_all_node_counts(self):
+        points = scaling_spec().points()
+        assert len(points) == len(APP_NAMES) * len(SCALING_NODES)
+        assert {p["num_procs"] for p in points} == set(SCALING_NODES)
+        # the same kind as the CLI's `sweep --kind speculation` path:
+        assert all(p.kind == "speculation" for p in points)
+
+    def test_scaling_16_node_points_are_figure9_points(self):
+        """The scaling grid's 16-node slice IS the Figure 9 grid, so a
+        warmed figure9 cache makes a third of scaling32 free."""
+        figure9_keys = {p.key for p in speculation_spec().points()}
+        slice16 = {
+            p.key for p in scaling_spec(nodes=(16,)).points()
+        }
+        assert slice16 == figure9_keys
+
+
+class TestCatalog:
+    def test_paper_beyond_experiments_are_tagged(self):
+        assert "scaling32" in EXPERIMENTS
+        assert "scaling32" in EXTRA_EXPERIMENTS
+        assert "scaling32" not in PAPER_EXPERIMENTS
+        assert set(PAPER_EXPERIMENTS) | EXTRA_EXPERIMENTS == set(EXPERIMENTS)
+
+    def test_catalog_covers_every_experiment_with_descriptions(self):
+        catalog = {entry["name"]: entry for entry in experiment_catalog()}
+        assert set(catalog) == set(EXPERIMENTS)
+        assert all(entry["description"] for entry in catalog.values())
+        assert catalog["figure9"]["paper"] and not catalog["scaling32"]["paper"]
+
+
+@pytest.mark.slow
+class TestScalingStudy:
+    def test_one_scaled_point_through_the_sweep_path(self, tmp_path):
+        """A 32-node cell of the scaling grid, run exactly as
+        `sweep --kind speculation` would run it (tiny iterations)."""
+        from repro.harness import SweepPoint
+
+        point = SweepPoint.make(
+            "speculation", {"app": "em3d", "num_procs": 32, "iterations": 3}
+        )
+        runner = ParallelRunner(store=ResultStore(tmp_path))
+        result = runner.run([point])
+        modes = result.values[0]["modes"]
+        assert modes["Base-DSM"]["normalized"] == 1.0
+        assert set(modes) == {"Base-DSM", "FR-DSM", "SWI-DSM"}
+        # cached rerun is free and bit-identical:
+        again = ParallelRunner(store=ResultStore(tmp_path)).run([point])
+        assert again.report.cached == 1
+        assert again.values == result.values
 
 
 class TestFigure6ThroughHarness:

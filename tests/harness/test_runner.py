@@ -3,6 +3,7 @@
 import pytest
 
 from repro.harness import (
+    MISS,
     ParallelRunner,
     ResultStore,
     SweepError,
@@ -111,6 +112,126 @@ class TestFailures:
         with pytest.raises(SweepError):
             ParallelRunner(store=store).run(spec)
         assert len(store) == 0
+
+
+class TestPerPointTiming:
+    def test_report_and_store_carry_point_times(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = ParallelRunner(store=store)
+        result = runner.run(ECHO_SPEC)
+        report = result.report
+        assert report.executed == 5
+        assert report.executed_seconds >= 0.0
+        assert report.max_point_seconds <= report.executed_seconds + 1e-9
+        for point in ECHO_SPEC.points():
+            assert store.load_entry(point).elapsed_s is not None
+
+    def test_cached_run_reports_saved_seconds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = SweepPoint.make("selftest", {"payload": 1})
+        store.store(point, {"echo": 1, "pid": 0}, elapsed_s=2.0)
+        result = ParallelRunner(store=store).run([point])
+        assert result.report.cached == 1
+        assert result.report.saved_seconds == 2.0
+        assert "cache saved ~2.0s" in result.report.timing_summary()
+
+    def test_timing_summary_empty_when_nothing_ran(self):
+        runner = ParallelRunner()
+        result = runner.run([])
+        assert result.report.timing_summary() == ""
+
+
+class TestIncrementalSubmission:
+    def test_submit_point_matches_batch_and_caches(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with ParallelRunner(store=store) as runner:
+            point = SweepPoint.make("selftest", {"payload": 42})
+            outcome = runner.submit_point(point).result(timeout=30)
+            assert not outcome.cached
+            assert outcome.value["echo"] == 42
+            assert outcome.elapsed_s is not None
+            # the store was written, so a second submit is an instant hit
+            # that never touches the pool again:
+            hit = runner.submit_point(point).result(timeout=1)
+            assert hit.cached
+            assert hit.value == outcome.value
+        batch = ParallelRunner(store=ResultStore(tmp_path)).run([point])
+        assert batch.report.cached == 1
+        assert batch.values[0] == outcome.value
+
+    def test_cache_hit_never_starts_the_pool(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = SweepPoint.make("selftest", {"payload": 3})
+        store.store(point, {"echo": 3, "pid": 0}, elapsed_s=0.5)
+        with ParallelRunner(store=store) as runner:
+            outcome = runner.submit_point(point).result(timeout=1)
+            assert outcome.cached and outcome.elapsed_s == 0.5
+            assert not runner.incremental_started
+
+    def test_submit_point_failure_is_sweep_error(self):
+        with ParallelRunner() as runner:
+            point = SweepPoint.make(
+                "selftest", {"payload": 9, "behavior": "error"}
+            )
+            future = runner.submit_point(point)
+            with pytest.raises(SweepError, match="payload=9"):
+                future.result(timeout=30)
+
+    def test_parallel_jobs_submit_runs_in_worker_process(self, tmp_path):
+        import os
+
+        with ParallelRunner(jobs=2, store=ResultStore(tmp_path)) as runner:
+            point = SweepPoint.make("selftest", {"payload": 11})
+            outcome = runner.submit_point(point).result(timeout=60)
+            assert outcome.value["echo"] == 11
+            assert outcome.value["pid"] != os.getpid()
+
+    def test_worker_crash_breaks_one_point_not_the_pool(self, tmp_path):
+        """A crashed worker errors that submission; the pool is rebuilt
+        and the next submission succeeds (long-lived service posture)."""
+        with ParallelRunner(jobs=2, store=ResultStore(tmp_path)) as runner:
+            crash = SweepPoint.make(
+                "selftest", {"payload": 1, "behavior": "crash"}
+            )
+            with pytest.raises(SweepError):
+                runner.submit_point(crash).result(timeout=60)
+            healthy = SweepPoint.make("selftest", {"payload": 2})
+            outcome = runner.submit_point(healthy).result(timeout=60)
+            assert outcome.value["echo"] == 2
+            # the crash was not cached; the success was.
+            assert runner.store.load_entry(crash) is MISS
+            assert runner.cached_outcome(healthy) is not None
+
+    def test_cancelled_submission_resolves_not_hangs(self):
+        """close() cancels queued work; waiters must get an error, not
+        block forever."""
+        from concurrent.futures import Future
+
+        class FakeExecutor:
+            def submit(self, fn, *args):
+                self.inner = Future()
+                return self.inner
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        runner = ParallelRunner()
+        fake = FakeExecutor()
+        runner._incremental = fake
+        outer = runner.submit_point(SweepPoint.make("selftest", {"payload": 1}))
+        fake.inner.cancel()
+        with pytest.raises(SweepError, match="cancelled"):
+            outer.result(timeout=5)
+
+    def test_close_is_idempotent_and_reopens(self):
+        runner = ParallelRunner()
+        runner.close()  # never started: no-op
+        point = SweepPoint.make("selftest", {"payload": 1})
+        assert runner.submit_point(point).result(timeout=30).value["echo"] == 1
+        runner.close()
+        # a new submission after close() lazily builds a fresh pool.
+        assert runner.submit_point(point).result(timeout=30).value["echo"] == 1
+        runner.close()
 
 
 class TestJobs:

@@ -1,10 +1,11 @@
 """Tests for the content-addressed result store."""
 
 import json
+import threading
 
 import pytest
 
-from repro.harness import MISS, ResultStore, SweepPoint
+from repro.harness import MISS, ResultStore, StoredEntry, SweepPoint
 
 
 @pytest.fixture
@@ -74,6 +75,76 @@ class TestInvalidation:
         store.discard(point)
         assert store.load(point) is MISS
         store.discard(point)  # idempotent
+
+
+class TestTiming:
+    def test_elapsed_round_trips(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        store.store(point, {"x": 1}, elapsed_s=0.25)
+        entry = store.load_entry(point)
+        assert isinstance(entry, StoredEntry)
+        assert entry.result == {"x": 1}
+        assert entry.elapsed_s == 0.25
+        # the result-only view is unchanged:
+        assert store.load(point) == {"x": 1}
+
+    def test_entry_without_timing_still_loads(self, tmp_path, point):
+        """A v1 cache (written before timing existed) is not invalidated."""
+        store = ResultStore(tmp_path)
+        path = store.store(point, "legacy")
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        del entry["entry_version"]  # exactly what a v1 file looks like
+        assert "elapsed_s" not in entry
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        loaded = store.load_entry(point)
+        assert loaded.result == "legacy"
+        assert loaded.elapsed_s is None
+
+    def test_garbage_elapsed_reads_as_absent(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        path = store.store(point, "ok", elapsed_s=1.0)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["elapsed_s"] = "not-a-number"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.load_entry(point).elapsed_s is None
+
+
+class TestConcurrentWriters:
+    def test_same_process_threads_never_tear_an_entry(self, tmp_path, point):
+        """Temp names are unique per writer, not per pid: a served sweep
+        and a CLI sweep (or many service worker threads) can share one
+        cache dir without staging-file collisions."""
+        store = ResultStore(tmp_path)
+        errors = []
+
+        def write(value):
+            try:
+                for _ in range(25):
+                    store.store(point, value, elapsed_s=0.1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # whichever writer won, the entry is intact and parseable:
+        assert store.load(point) in (0, 1, 2, 3)
+        # and no staging files were left behind:
+        assert not list(tmp_path.glob("selftest/*.tmp"))
+
+    def test_interrupted_write_leaves_no_temp_file(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+
+        class Boom:
+            """json.dump cannot serialize this; the write must clean up."""
+
+        with pytest.raises(TypeError):
+            store.store(point, Boom())
+        assert store.load(point) is MISS
+        assert not list(tmp_path.glob("selftest/*"))
 
 
 class TestMaintenance:

@@ -1,0 +1,349 @@
+"""End-to-end tests: a real server on an ephemeral port, real sockets."""
+
+import asyncio
+import json
+
+from repro.eval.cli import main as cli_main
+from repro.harness import ParallelRunner, ResultStore
+from repro.service import ReproService, ServiceConfig
+
+from tests.service.conftest import CALLS, gate
+from tests.service.test_jobs import settle
+
+
+async def http_request(port, target, method="GET", body=None, connection="close"):
+    """One request over a fresh connection; returns (status, json_payload)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n"
+        if body is not None:
+            payload = json.dumps(body).encode()
+            head += f"Content-Length: {len(payload)}\r\n\r\n"
+            writer.write(head.encode() + payload)
+        else:
+            writer.write((head + "\r\n").encode())
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await reader.readexactly(length)
+        return status, json.loads(data)
+    finally:
+        writer.close()
+
+
+def service_config(tmp_path, **overrides):
+    options = {"port": 0, "cache_dir": str(tmp_path / "cache")}
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+def run_with_service(tmp_path, scenario, **config_overrides):
+    """Boot a service on an ephemeral port, run ``scenario(service)``."""
+
+    async def main():
+        service = ReproService(service_config(tmp_path, **config_overrides))
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+class TestSmoke:
+    def test_healthz_and_statz(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(service.port, "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            status, stats = await http_request(service.port, "/statz")
+            assert status == 200
+            assert stats["point_requests"] == 0
+            assert stats["queue_depth_bound"] == service.config.max_pending
+            assert stats["runner"]["cache_dir"].endswith("cache")
+
+        run_with_service(tmp_path, scenario)
+
+    def test_unknown_route_404_and_wrong_method_405(self, tmp_path):
+        async def scenario(service):
+            assert (await http_request(service.port, "/nope"))[0] == 404
+            status, _ = await http_request(service.port, "/v1/point", method="POST", body={})
+            assert status == 405
+            status, _ = await http_request(service.port, "/v1/sweep")
+            assert status == 405
+
+        run_with_service(tmp_path, scenario)
+
+    def test_slow_request_gets_408_not_silent_close(self, tmp_path):
+        """A started-but-stalled request is not an idle connection: it
+        gets an explicit 408 once request_timeout_s expires."""
+
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                # headers promise a body that never arrives
+                writer.write(
+                    b"POST /v1/sweep HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await asyncio.wait_for(reader.readline(), timeout=5)
+                assert b"408" in status_line
+            finally:
+                writer.close()
+
+        run_with_service(tmp_path, scenario, request_timeout_s=0.2)
+
+    def test_keep_alive_serves_multiple_requests_per_connection(self, tmp_path):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                for _ in range(3):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    assert b"200" in status_line
+                    length = None
+                    while True:
+                        line = await reader.readline()
+                        if line == b"\r\n":
+                            break
+                        if line.lower().startswith(b"content-length"):
+                            length = int(line.split(b":")[1])
+                    await reader.readexactly(length)
+            finally:
+                writer.close()
+
+        run_with_service(tmp_path, scenario)
+
+
+class TestPointEndpoint:
+    def test_miss_then_hit_and_cli_sees_the_same_entry(self, tmp_path, capsys):
+        async def scenario(service):
+            target = "/v1/point?kind=analytic&panel=accuracy&points=3"
+            status, first = await http_request(service.port, target)
+            assert status == 200 and first["cached"] is False
+            status, second = await http_request(service.port, target)
+            assert status == 200 and second["cached"] is True
+            assert second["result"] == first["result"]
+            assert second["elapsed_s"] == first["elapsed_s"]  # original compute time
+            return first
+
+        first = run_with_service(tmp_path, scenario)
+
+        # The CLI sweep over the same cache dir reports the point cached
+        # and prints a bit-identical result.
+        argv = [
+            "sweep", "--kind", "analytic", "--axis", "panel=accuracy",
+            "--set", "points=3", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert cli_main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1 cached" in captured.err
+        cli_result = json.loads(captured.out.strip().splitlines()[0])["result"]
+        assert cli_result == first["result"]
+
+    def test_prewarmed_cache_hit_runs_zero_computations(self, tmp_path):
+        # Warm the cache exactly as a CLI run would...
+        warm = ParallelRunner(store=ResultStore(tmp_path / "cache"))
+        from repro.harness import SweepPoint
+
+        point = SweepPoint.make("svc_probe", {"payload": 13})
+        warmed = warm.run([point])
+        assert CALLS["default"] == 1
+        CALLS.clear()
+
+        # ...then serve it: same bytes back, zero runner invocations.
+        async def scenario(service):
+            status, body = await http_request(
+                service.port, "/v1/point?kind=svc_probe&payload=13"
+            )
+            assert status == 200
+            assert body["cached"] is True
+            assert body["result"] == warmed.values[0]
+            assert CALLS["default"] == 0
+            assert not service.runner.incremental_started
+
+        run_with_service(tmp_path, scenario)
+
+    def test_query_literals_match_cli_parsing(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(
+                service.port,
+                "/v1/point?kind=svc_probe&payload=%7B%22depth%22%3A%204%7D",
+            )
+            assert status == 200
+            assert body["params"]["payload"] == {"depth": 4}
+            assert body["result"]["echo"] == {"depth": 4}
+
+        run_with_service(tmp_path, scenario)
+
+    def test_selftest_kind_is_not_servable(self, tmp_path):
+        """selftest can deliberately crash its host (behavior=crash);
+        no HTTP client may reach it."""
+
+        async def scenario(service):
+            status, body = await http_request(
+                service.port, "/v1/point?kind=selftest&behavior=crash"
+            )
+            assert status == 400 and "selftest" not in body["error"].split("known: ")[1]
+            status, _ = await http_request(
+                service.port,
+                "/v1/sweep",
+                method="POST",
+                body={"kind": "selftest", "axes": {"payload": [1]}},
+            )
+            assert status == 400
+            status, catalog = await http_request(service.port, "/v1/experiments")
+            assert "selftest" not in catalog["kinds"]
+            # and the server is demonstrably still alive:
+            assert (await http_request(service.port, "/healthz"))[0] == 200
+
+        run_with_service(tmp_path, scenario)
+
+    def test_bad_requests_are_400(self, tmp_path):
+        async def scenario(service):
+            assert (await http_request(service.port, "/v1/point"))[0] == 400
+            status, body = await http_request(service.port, "/v1/point?kind=nope")
+            assert status == 400 and "unknown kind" in body["error"]
+            status, _ = await http_request(
+                service.port, "/v1/point?kind=svc_probe&_timeout_s=fast"
+            )
+            assert status == 400
+            status, _ = await http_request(
+                service.port, "/v1/point?kind=svc_probe&_bogus=1"
+            )
+            assert status == 400
+
+        run_with_service(tmp_path, scenario)
+
+    def test_runner_failure_is_500(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(
+                service.port, "/v1/point?kind=svc_probe&fail=true"
+            )
+            assert status == 500 and "sweep point failed" in body["error"]
+
+        run_with_service(tmp_path, scenario)
+
+    def test_concurrent_identical_requests_coalesce_over_http(self, tmp_path):
+        async def scenario(service):
+            target = "/v1/point?kind=svc_probe&payload=1&gate=http"
+            requests = [
+                asyncio.create_task(http_request(service.port, target))
+                for _ in range(4)
+            ]
+            await settle(lambda: service.pool.in_flight == 1)
+            gate("http").set()
+            responses = await asyncio.gather(*requests)
+            assert [status for status, _ in responses] == [200] * 4
+            assert {body["result"]["echo"] for _, body in responses} == {1}
+            assert CALLS["default"] == 1
+            assert service.pool.stats.coalesced == 3
+
+        run_with_service(tmp_path, scenario)
+
+    def test_backpressure_returns_429_over_http(self, tmp_path):
+        async def scenario(service):
+            blocked = asyncio.create_task(
+                http_request(service.port, "/v1/point?kind=svc_probe&payload=1&gate=full")
+            )
+            await settle(lambda: service.pool.in_flight == 1)
+            status, body = await http_request(
+                service.port, "/v1/point?kind=svc_probe&payload=2"
+            )
+            assert status == 429
+            assert "queue is full" in body["error"]
+            assert body["retry_after_s"] == 1.0
+            gate("full").set()
+            status, _ = await blocked
+            assert status == 200
+
+        run_with_service(tmp_path, scenario, max_pending=1)
+
+    def test_timeout_returns_504_and_retry_hits_cache(self, tmp_path):
+        async def scenario(service):
+            target = "/v1/point?kind=svc_probe&payload=1&gate=slow"
+            status, body = await http_request(service.port, target)
+            assert status == 504 and "still" in body["error"]
+            gate("slow").set()
+            await settle(lambda: service.pool.in_flight == 0)
+            status, body = await http_request(service.port, target)
+            assert status == 200 and body["cached"] is True
+            assert CALLS["default"] == 1
+
+        run_with_service(tmp_path, scenario, timeout_s=0.05)
+
+
+class TestSweepJobs:
+    def test_submit_poll_fetch_results(self, tmp_path):
+        async def scenario(service):
+            status, accepted = await http_request(
+                service.port,
+                "/v1/sweep",
+                method="POST",
+                body={"kind": "svc_probe", "axes": {"payload": [1, 2, 3]}},
+            )
+            assert status == 202 and accepted["points"] == 3
+            poll = accepted["poll"]
+            for _ in range(200):
+                status, job = await http_request(service.port, poll)
+                assert status == 200
+                if job["state"] != "running":
+                    break
+                await asyncio.sleep(0.01)
+            assert job["state"] == "done" and job["done"] == 3
+            status, detailed = await http_request(service.port, poll + "?results=1")
+            assert [p["result"]["echo"] for p in detailed["points"]] == [1, 2, 3]
+            status, listing = await http_request(service.port, "/v1/jobs")
+            assert accepted["job"] in [j["job"] for j in listing["jobs"]]
+
+        run_with_service(tmp_path, scenario)
+
+    def test_sweep_validation_errors(self, tmp_path):
+        async def scenario(service):
+            cases = [
+                ({"kind": "nope", "axes": {"a": [1]}}, 400),
+                ({"kind": "svc_probe"}, 400),  # no axes
+                ({"kind": "svc_probe", "axes": {"a": 1}}, 400),  # not a list
+                ({"kind": "svc_probe", "axes": {"a": []}}, 400),  # empty axis
+                ([1, 2], 400),  # not an object
+            ]
+            for body, expected in cases:
+                status, _ = await http_request(
+                    service.port, "/v1/sweep", method="POST", body=body
+                )
+                assert status == expected, body
+            # grid size cap
+            status, payload = await http_request(
+                service.port,
+                "/v1/sweep",
+                method="POST",
+                body={"kind": "svc_probe", "axes": {"a": list(range(40)), "b": list(range(40))}},
+            )
+            assert status == 413 and "split the sweep" in payload["error"]
+            status, _ = await http_request(service.port, "/v1/jobs/job-missing")
+            assert status == 404
+
+        run_with_service(tmp_path, scenario)
+
+
+class TestExperimentsEndpoint:
+    def test_catalog_names_paper_and_beyond(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(service.port, "/v1/experiments")
+            assert status == 200
+            by_name = {e["name"]: e for e in body["experiments"]}
+            assert by_name["figure7"]["paper"] is True
+            assert by_name["scaling32"]["paper"] is False
+            assert "32/64 nodes" in by_name["scaling32"]["description"]
+            assert "speculation" in body["kinds"]
+
+        run_with_service(tmp_path, scenario)
