@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Perf smoke: the vectorized trace pipeline must beat the reference.
+
+Runs the same small, fixed accuracy grid (a slice of the Figure 7
+sweep: every app at reduced iterations) through both evaluation
+engines and fails — exit code 1 — if the vectorized path is not
+faster than the per-message reference path on the same grid.  CI runs
+this as the ``perf-smoke`` lane; locally::
+
+    PYTHONPATH=src python scripts/perf_smoke.py
+
+Both engines compute bit-identical results (the golden equivalence
+tests in tests/trace/ enforce that); this script only guards the
+*performance* claim, with a deliberately loose threshold (1.0x) so a
+noisy shared runner cannot flake on a real >2x speedup.
+
+The trace cache is left unconfigured: each engine pays for its own
+emulation, so the comparison isolates the vectorized consumption win
+(cache reuse only widens the gap in production).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+#: The fixed grid: every app, quarter-ish iterations, paper node count.
+GRID_ITERATIONS = {
+    "appbt": 8,
+    "barnes": 10,
+    "em3d": 10,
+    "moldyn": 10,
+    "ocean": 6,
+    "tomcatv": 10,
+    "unstructured": 8,
+}
+NUM_PROCS = 16
+DEPTH = 1
+
+#: Fail when vectorized is not at least this many times faster.
+THRESHOLD = 1.0
+
+#: Timing runs per engine; the best one is kept (damps CI noise).
+ATTEMPTS = 2
+
+
+def run_grid(engine: str) -> float:
+    from repro.eval.accuracy import run_predictors
+    from repro.trace import configure_trace_cache
+
+    configure_trace_cache(None)  # both engines pay full emulation cost
+    best = float("inf")
+    for _ in range(ATTEMPTS):
+        started = time.perf_counter()
+        for app, iterations in GRID_ITERATIONS.items():
+            run_predictors(
+                app,
+                depth=DEPTH,
+                num_procs=NUM_PROCS,
+                iterations=iterations,
+                engine=engine,
+            )
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    reference = run_grid("reference")
+    vectorized = run_grid("vectorized")
+    speedup = reference / vectorized if vectorized else float("inf")
+    print(
+        f"perf-smoke: {len(GRID_ITERATIONS)} apps x 3 predictors, "
+        f"num_procs={NUM_PROCS}, depth={DEPTH}"
+    )
+    print(f"  reference  engine: {reference:7.2f}s")
+    print(f"  vectorized engine: {vectorized:7.2f}s")
+    print(f"  speedup:           {speedup:7.2f}x (threshold {THRESHOLD:.1f}x)")
+    if speedup < THRESHOLD:
+        print("perf-smoke: FAIL — vectorized path is slower than reference")
+        return 1
+    print("perf-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,8 +91,13 @@ def _add_harness_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    from repro.trace import configure_trace_cache
+
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
     store = None if args.no_cache else ResultStore(cache_dir)
+    # Compiled traces share the point cache's directory (under trace/);
+    # forked sweep workers inherit the configuration.
+    configure_trace_cache(None if args.no_cache else cache_dir)
     return ParallelRunner(jobs=args.jobs, store=store, refresh=args.refresh)
 
 

@@ -274,6 +274,38 @@ EXPERIMENTS: dict[str, Callable] = {
     "scaling32": scaling32,
 }
 
+#: Experiments with no sweep grid: plain configuration tables, rendered
+#: inline wherever they are requested.
+STATIC_EXPERIMENTS = frozenset({"table1", "table2"})
+
+#: The grid each grid-shaped experiment expands to.  This is what lets
+#: the service run a whole named experiment as one background sweep job
+#: (``GET /v1/experiments/<name>``) — the job's points are exactly the
+#: points the drivers above run, so the two paths share cache entries.
+_EXPERIMENT_SPECS: dict[str, Callable[[bool], SweepSpec]] = {
+    "figure6": lambda fast: SweepSpec(
+        kind="analytic",
+        axes={"panel": list(FIGURE6_PANELS)},
+        base={"points": 21},
+    ),
+    "figure7": lambda fast: accuracy_spec(fast),
+    "figure8": lambda fast: accuracy_spec(fast, depths=(1, 2, 4)),
+    "table3": lambda fast: accuracy_spec(fast),
+    "table4": lambda fast: accuracy_spec(fast, depths=(1, 4)),
+    "figure9": lambda fast: speculation_spec(fast),
+    "table5": lambda fast: speculation_spec(fast),
+    "scaling32": lambda fast: scaling_spec(fast),
+}
+
+
+def experiment_spec(name: str, fast: bool = False) -> SweepSpec | None:
+    """The sweep grid behind a named experiment, or None for static tables."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(f"unknown experiment {name!r} (known: {known})")
+    builder = _EXPERIMENT_SPECS.get(name)
+    return None if builder is None else builder(fast)
+
 #: Paper-beyond studies: registered and servable like any experiment but
 #: excluded from a bare ``repro-paper`` run (which reproduces the paper).
 EXTRA_EXPERIMENTS = frozenset({"scaling32"})

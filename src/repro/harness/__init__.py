@@ -29,7 +29,9 @@ from repro.harness.runner import (
     resolve_jobs,
 )
 from repro.harness.runners import (
+    PointMetrics,
     execute_point,
+    execute_point_instrumented,
     execute_point_timed,
     get_runner,
     register_runner,
@@ -48,6 +50,7 @@ __all__ = [
     "ENTRY_VERSION",
     "MISS",
     "ParallelRunner",
+    "PointMetrics",
     "PointOutcome",
     "ResultStore",
     "SCHEMA_VERSION",
@@ -58,6 +61,7 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "execute_point",
+    "execute_point_instrumented",
     "execute_point_timed",
     "get_runner",
     "register_runner",

@@ -19,6 +19,7 @@ blocking on a whole grid.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import threading
@@ -35,7 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.harness.runners import execute_point_timed
+from repro.harness.runners import PointMetrics, execute_point_instrumented
 from repro.harness.spec import SweepPoint, SweepSpec
 from repro.harness.store import MISS, ResultStore
 
@@ -44,12 +45,14 @@ class SweepError(RuntimeError):
     """A sweep point failed or its worker process died."""
 
 
-def _run_chunk(payload: list[tuple[str, dict[str, Any]]]) -> list[tuple[Any, float]]:
+def _run_chunk(
+    payload: list[tuple[str, dict[str, Any]]]
+) -> list[tuple[Any, PointMetrics]]:
     """Worker entry point: execute a chunk of points in one task."""
-    out: list[tuple[Any, float]] = []
+    out: list[tuple[Any, PointMetrics]] = []
     for kind, params in payload:
         try:
-            out.append(execute_point_timed(kind, params))
+            out.append(execute_point_instrumented(kind, params))
         except Exception as exc:
             raise SweepError(
                 f"sweep point failed: kind={kind!r} params={params!r} ({exc})"
@@ -72,15 +75,20 @@ class SweepReport:
     #: Compute seconds the cache saved — the sum of recorded ``elapsed_s``
     #: over cache hits (hits on pre-timing entries contribute nothing).
     saved_seconds: float = 0.0
+    #: Compiled-trace cache events observed by freshly executed points.
+    trace_hits: int = 0
+    trace_misses: int = 0
 
     @property
     def total(self) -> int:
         return self.executed + self.cached
 
-    def note_executed(self, elapsed_s: float) -> None:
+    def note_executed(self, metrics: PointMetrics) -> None:
         self.executed += 1
-        self.executed_seconds += elapsed_s
-        self.max_point_seconds = max(self.max_point_seconds, elapsed_s)
+        self.executed_seconds += metrics.elapsed_s
+        self.max_point_seconds = max(self.max_point_seconds, metrics.elapsed_s)
+        self.trace_hits += metrics.trace_hits
+        self.trace_misses += metrics.trace_misses
 
     def note_cached(self, elapsed_s: float | None) -> None:
         self.cached += 1
@@ -97,6 +105,10 @@ class SweepReport:
             )
         if self.saved_seconds:
             parts.append(f"cache saved ~{self.saved_seconds:.1f}s")
+        if self.trace_hits or self.trace_misses:
+            parts.append(
+                f"trace cache {self.trace_hits}h/{self.trace_misses}m"
+            )
         return "; ".join(parts)
 
 
@@ -132,6 +144,10 @@ class PointOutcome:
     elapsed_s: float | None
     #: True when the value came from the :class:`ResultStore`.
     cached: bool
+    #: Compiled-trace cache events this execution observed (always 0
+    #: for cache hits — a cached point never compiles anything).
+    trace_hits: int = 0
+    trace_misses: int = 0
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -160,8 +176,12 @@ class ParallelRunner:
     * ``store``   — optional :class:`ResultStore` consulted before and
       written after execution,
     * ``refresh`` — recompute every point and overwrite the cache,
-    * ``chunk_size`` — points per worker task (default: grid split into
-      ~4 waves per worker, so stragglers don't serialize the tail).
+    * ``chunk_size`` — explicit points per worker task; by default the
+      grid is packed into ~4 waves per worker with straggler-aware
+      greedy packing: each chunk gets an (approximately) equal
+      *predicted duration*, using wall times the store recorded for
+      the same point, the same app, or the same kind (ocean points run
+      ~2x em3d's, so fixed-size chunks serialize the tail).
 
     Batch mode (:meth:`run`) executes a whole grid and blocks.
     Incremental mode (:meth:`submit_point`) executes one point at a time
@@ -220,11 +240,16 @@ class ParallelRunner:
                 fresh = self._run_parallel(pending)
             else:
                 fresh = [self._execute(point) for point in pending]
-            for point, (value, elapsed) in zip(pending, fresh):
+            for point, (value, metrics) in zip(pending, fresh):
                 results[point] = value
                 if self.store is not None:
-                    self.store.store(point, value, elapsed_s=elapsed)
-                report.note_executed(elapsed)
+                    self.store.store(
+                        point,
+                        value,
+                        elapsed_s=metrics.elapsed_s,
+                        meta=metrics.trace_meta,
+                    )
+                report.note_executed(metrics)
 
         self.last_report = report
         return SweepResult(
@@ -232,38 +257,115 @@ class ParallelRunner:
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, point: SweepPoint) -> tuple[Any, float]:
+    def _execute(self, point: SweepPoint) -> tuple[Any, PointMetrics]:
         try:
-            return execute_point_timed(point.kind, point.as_dict())
+            return execute_point_instrumented(point.kind, point.as_dict())
         except Exception as exc:
             raise SweepError(f"sweep point failed: {point!r} ({exc})") from exc
 
-    def _run_parallel(self, pending: list[SweepPoint]) -> list[tuple[Any, float]]:
+    def _run_parallel(
+        self, pending: list[SweepPoint]
+    ) -> list[tuple[Any, PointMetrics]]:
         workers = min(self.jobs, len(pending))
-        chunk_size = self.chunk_size or max(1, -(-len(pending) // (workers * 4)))
-        chunks = [
-            pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)
-        ]
+        chunks = self._pack_chunks(pending, workers)
         context = self.mp_context or _fork_context()
-        results: dict[int, list[tuple[Any, float]]] = {}
+        results: dict[int, tuple[Any, PointMetrics]] = {}
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             futures = {
                 pool.submit(
-                    _run_chunk, [(p.kind, p.as_dict()) for p in chunk]
-                ): index
-                for index, chunk in enumerate(chunks)
+                    _run_chunk,
+                    [(pending[i].kind, pending[i].as_dict()) for i in chunk],
+                ): chunk
+                for chunk in chunks
             }
             wait(futures, return_when=FIRST_EXCEPTION)
-            for future, index in futures.items():
+            for future, chunk in futures.items():
                 try:
-                    results[index] = future.result()
+                    values = future.result()
                 except BrokenProcessPool as exc:
                     raise SweepError(
                         f"a sweep worker process died while running "
-                        f"{len(chunks[index])} point(s), e.g. {chunks[index][0]!r}; "
+                        f"{len(chunk)} point(s), e.g. {pending[chunk[0]]!r}; "
                         f"rerun with jobs=1 to see the failure inline"
                     ) from exc
-        return [value for index in range(len(chunks)) for value in results[index]]
+                for index, value in zip(chunk, values):
+                    results[index] = value
+        return [results[index] for index in range(len(pending))]
+
+    # ------------------------------------------------------------------
+    # straggler-aware chunk packing
+    # ------------------------------------------------------------------
+    def _pack_chunks(
+        self, pending: list[SweepPoint], workers: int
+    ) -> list[list[int]]:
+        """Split ``pending`` into chunks of ~equal predicted duration.
+
+        Returns lists of indices into ``pending``.  With an explicit
+        ``chunk_size`` the legacy fixed-size slicing is kept; otherwise
+        the grid is greedy-packed (longest-predicted-first into the
+        least-loaded chunk) across ~4 waves per worker.  Packing only
+        changes which worker task runs a point — results are reassembled
+        in grid order either way, so output is deterministic.
+        """
+        count = len(pending)
+        if self.chunk_size:
+            return [
+                list(range(start, min(start + self.chunk_size, count)))
+                for start in range(0, count, self.chunk_size)
+            ]
+        bins = min(count, workers * 4)
+        durations = self._predicted_durations(pending)
+        order = sorted(range(count), key=lambda i: (-durations[i], i))
+        heap: list[tuple[float, int]] = [(0.0, b) for b in range(bins)]
+        packed: list[list[int]] = [[] for _ in range(bins)]
+        for index in order:
+            load, which = heapq.heappop(heap)
+            packed[which].append(index)
+            heapq.heappush(heap, (load + durations[index], which))
+        return [sorted(chunk) for chunk in packed if chunk]
+
+    def _predicted_durations(self, pending: list[SweepPoint]) -> list[float]:
+        """Predicted compute seconds per point, from recorded wall times.
+
+        Precedence: the point's own stored time (available under
+        ``refresh``, where entries exist but are being recomputed), then
+        the mean over recorded entries of the same kind with the same
+        ``app``, then the kind-level mean, then the overall mean (1.0
+        when the store has no timing signal at all — equal weights make
+        greedy packing degrade to balanced counts).
+        """
+        if self.store is None:
+            return [1.0] * len(pending)
+        by_kind: dict[str, list[tuple[dict[str, Any], float]]] = {}
+        for point in pending:
+            if point.kind not in by_kind:
+                by_kind[point.kind] = self.store.recorded_times(point.kind)
+        app_means: dict[tuple[str, Any], float] = {}
+        kind_means: dict[str, float] = {}
+        everything: list[float] = []
+        for kind, records in by_kind.items():
+            sums: dict[Any, list[float]] = {}
+            for params, elapsed in records:
+                everything.append(elapsed)
+                sums.setdefault(params.get("app"), []).append(elapsed)
+            if records:
+                kind_means[kind] = sum(e for _p, e in records) / len(records)
+            for app, values in sums.items():
+                if app is not None:
+                    app_means[(kind, app)] = sum(values) / len(values)
+        fallback = sum(everything) / len(everything) if everything else 1.0
+
+        durations: list[float] = []
+        for point in pending:
+            entry = self.store.load_entry(point)
+            if entry is not MISS and entry.elapsed_s:
+                durations.append(entry.elapsed_s)
+                continue
+            key = (point.kind, point.get("app"))
+            durations.append(
+                app_means.get(key, kind_means.get(point.kind, fallback))
+            )
+        return durations
 
     # ------------------------------------------------------------------
     # incremental execution (submit/poll, used by the service layer)
@@ -294,17 +396,21 @@ class ParallelRunner:
 
         pool = self._ensure_incremental()
         try:
-            inner = pool.submit(execute_point_timed, point.kind, point.as_dict())
+            inner = pool.submit(
+                execute_point_instrumented, point.kind, point.as_dict()
+            )
         except BrokenProcessPool:
             # an earlier point killed a worker; rebuild the pool once so
             # one crash doesn't poison every later submission.
             self._discard_incremental(pool)
             pool = self._ensure_incremental()
-            inner = pool.submit(execute_point_timed, point.kind, point.as_dict())
+            inner = pool.submit(
+                execute_point_instrumented, point.kind, point.as_dict()
+            )
 
         outer: Future[PointOutcome] = Future()
 
-        def _finish(fut: "Future[tuple[Any, float]]") -> None:
+        def _finish(fut: "Future[tuple[Any, PointMetrics]]") -> None:
             if fut.cancelled():
                 # close()/_discard_incremental cancel queued work; the
                 # outer future must still resolve or waiters hang.
@@ -320,14 +426,25 @@ class ParallelRunner:
                     SweepError(f"sweep point failed: {point!r} ({exc})")
                 )
                 return
-            value, elapsed = fut.result()
+            value, metrics = fut.result()
             if self.store is not None:
                 try:
-                    self.store.store(point, value, elapsed_s=elapsed)
+                    self.store.store(
+                        point,
+                        value,
+                        elapsed_s=metrics.elapsed_s,
+                        meta=metrics.trace_meta,
+                    )
                 except OSError:
                     pass  # a full/readonly cache degrades to recomputes
             outer.set_result(
-                PointOutcome(value=value, elapsed_s=elapsed, cached=False)
+                PointOutcome(
+                    value=value,
+                    elapsed_s=metrics.elapsed_s,
+                    cached=False,
+                    trace_hits=metrics.trace_hits,
+                    trace_misses=metrics.trace_misses,
+                )
             )
 
         inner.add_done_callback(_finish)

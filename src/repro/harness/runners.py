@@ -16,9 +16,39 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Callable, Mapping
+from dataclasses import dataclass
 from typing import Any
 
 PointRunner = Callable[[dict[str, Any]], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class PointMetrics:
+    """Measurements that ride alongside one point's result.
+
+    ``elapsed_s`` is the compute wall time; ``trace_hits`` /
+    ``trace_misses`` count the compiled-trace cache events the
+    computation observed (0/0 for kinds that never compile a trace, or
+    when no trace cache is configured).  Metrics travel back from worker
+    processes with the result and feed :class:`ResultStore` entry
+    metadata, sweep reports, and the service's ``/statz``.
+    """
+
+    elapsed_s: float
+    trace_hits: int = 0
+    trace_misses: int = 0
+
+    @property
+    def trace_meta(self) -> dict[str, Any] | None:
+        """Entry-v3 ``meta`` payload recording trace-cache provenance."""
+        if not (self.trace_hits or self.trace_misses):
+            return None
+        return {
+            "trace_cache": {
+                "hits": self.trace_hits,
+                "misses": self.trace_misses,
+            }
+        }
 
 _RUNNERS: dict[str, PointRunner] = {}
 
@@ -53,15 +83,34 @@ def execute_point(kind: str, params: Mapping[str, Any]) -> Any:
 
 
 def execute_point_timed(kind: str, params: Mapping[str, Any]) -> tuple[Any, float]:
-    """Execute one sweep cell, returning ``(result, wall_seconds)``.
+    """Execute one sweep cell, returning ``(result, wall_seconds)``."""
+    result, metrics = execute_point_instrumented(kind, params)
+    return result, metrics.elapsed_s
 
-    The measured wall time travels back from worker processes alongside
-    the result and is persisted in :class:`~repro.harness.store.ResultStore`
-    entries, feeding straggler statistics and the service's ``/statz``.
+
+def execute_point_instrumented(
+    kind: str, params: Mapping[str, Any]
+) -> tuple[Any, PointMetrics]:
+    """Execute one sweep cell, returning ``(result, metrics)``.
+
+    The metrics travel back from worker processes alongside the result
+    and are persisted in :class:`~repro.harness.store.ResultStore`
+    entries, feeding straggler-aware chunk packing and ``/statz``.
     """
+    # Lazy import: the trace pipeline pulls numpy in, and the counter
+    # snapshot is the only coupling the harness needs.
+    from repro.trace.cache import snapshot_counters
+
+    hits_before, misses_before = snapshot_counters()
     started = time.perf_counter()
     result = execute_point(kind, params)
-    return result, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    hits_after, misses_after = snapshot_counters()
+    return result, PointMetrics(
+        elapsed_s=elapsed,
+        trace_hits=hits_after - hits_before,
+        trace_misses=misses_after - misses_before,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -72,8 +121,10 @@ def run_accuracy_point(params: dict[str, Any]) -> dict[str, Any]:
     """Train predictors on one app trace (Figures 7-8, Tables 3-4).
 
     Parameters: ``app`` (required), ``depth``, ``iterations``,
-    ``predictors``, ``num_procs``, ``seed``, ``race_seed`` — the same
-    surface as :func:`repro.eval.accuracy.run_predictors`.
+    ``predictors``, ``num_procs``, ``seed``, ``race_seed``, ``engine``
+    — the same surface as :func:`repro.eval.accuracy.run_predictors`.
+    ``engine`` defaults to the vectorized trace pipeline; both engines
+    are bit-identical, so it is omitted from the default cache key.
     """
     from repro.eval.accuracy import run_predictors
 
@@ -85,6 +136,7 @@ def run_accuracy_point(params: dict[str, Any]) -> dict[str, Any]:
         iterations=params.get("iterations"),
         seed=params.get("seed", 1999),
         race_seed=params.get("race_seed", 7),
+        engine=params.get("engine", "vectorized"),
     )
     return {
         "runs": {

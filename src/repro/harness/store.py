@@ -44,7 +44,9 @@ SCHEMA_VERSION = 1
 #: result).  Bumping this does NOT invalidate caches — readers accept
 #: any version and treat missing metadata as absent.
 #: v1: kind/params/fingerprint/result.  v2: + elapsed_s.
-ENTRY_VERSION = 2
+#: v3: + meta (free-form JSON object: compiled-trace content hashes,
+#: per-point trace-cache provenance).
+ENTRY_VERSION = 3
 
 #: Sentinel distinguishing "no cached result" from a cached ``None``.
 MISS = object()
@@ -58,17 +60,29 @@ class StoredEntry:
     #: Wall-clock seconds the original computation took, or ``None``
     #: for entries written before timing was recorded (entry v1).
     elapsed_s: float | None = None
+    #: Free-form JSON metadata (entry v3): e.g. a compiled trace's
+    #: content hash, or which trace-cache events a point's computation
+    #: observed.  ``None`` on entries written before v3.
+    meta: dict[str, Any] | None = None
 
 
 class ResultStore:
     """A content-addressed JSON store keyed by sweep point + fingerprint."""
 
     def __init__(
-        self, root: str | os.PathLike, fingerprint: Mapping[str, Any] | None = None
+        self,
+        root: str | os.PathLike,
+        fingerprint: Mapping[str, Any] | None = None,
+        compact: bool = False,
     ) -> None:
         from repro import __version__
 
         self.root = Path(root)
+        #: Write entries without indentation.  Point results are small
+        #: and stay human-readable (indent=1); bulk entries (compiled
+        #: traces: tens of thousands of ints per column) would pay one
+        #: line per array element on every write and parse.
+        self.compact = compact
         self.fingerprint: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "version": __version__,
@@ -109,15 +123,48 @@ class ResultStore:
         elapsed = entry.get("elapsed_s")
         if not isinstance(elapsed, (int, float)):
             elapsed = None
-        return StoredEntry(result=entry["result"], elapsed_s=elapsed)
+        meta = entry.get("meta")
+        if not isinstance(meta, dict):
+            meta = None
+        return StoredEntry(result=entry["result"], elapsed_s=elapsed, meta=meta)
 
     def load(self, point: SweepPoint) -> Any:
         """The cached result for ``point``, or :data:`MISS`."""
         entry = self.load_entry(point)
         return entry if entry is MISS else entry.result
 
+    def recorded_times(self, kind: str) -> list[tuple[dict[str, Any], float]]:
+        """``(params, elapsed_s)`` for every readable entry of ``kind``.
+
+        Deliberately scans across *all* fingerprints: entries written by
+        older code versions still carry useful duration signal for
+        straggler-aware chunk packing, which only needs relative
+        magnitudes, not result compatibility.
+        """
+        directory = self.root / kind
+        if not directory.is_dir():
+            return []
+        out: list[tuple[dict[str, Any], float]] = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entry, dict):
+                continue
+            elapsed = entry.get("elapsed_s")
+            params = entry.get("params")
+            if isinstance(elapsed, (int, float)) and isinstance(params, dict):
+                out.append((params, float(elapsed)))
+        return out
+
     def store(
-        self, point: SweepPoint, result: Any, elapsed_s: float | None = None
+        self,
+        point: SweepPoint,
+        result: Any,
+        elapsed_s: float | None = None,
+        meta: Mapping[str, Any] | None = None,
     ) -> Path:
         """Atomically persist one point's result; returns its path.
 
@@ -137,12 +184,19 @@ class ResultStore:
         }
         if elapsed_s is not None:
             entry["elapsed_s"] = elapsed_s
+        if meta is not None:
+            entry["meta"] = dict(meta)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True, indent=1)
+                if self.compact:
+                    json.dump(
+                        entry, handle, sort_keys=True, separators=(",", ":")
+                    )
+                else:
+                    json.dump(entry, handle, sort_keys=True, indent=1)
             os.replace(tmp_name, path)
         except BaseException:
             try:

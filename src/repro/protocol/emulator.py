@@ -35,7 +35,13 @@ class ProtocolEmulator:
         self.stats = StatSet()
 
     def messages_for(self, script: BlockScript) -> list[Message]:
-        """The home-directory message stream for one block.
+        """The home-directory message stream for one block."""
+        return [message for _epoch, message in self.script_events(script)]
+
+    def script_events(
+        self, script: BlockScript
+    ) -> list[tuple[int, Message]]:
+        """``(epoch_index, message)`` pairs for one block's script.
 
         Invalidation acknowledgements normally return in full-map order
         — the directory walks its sharer bitmap when sending
@@ -48,15 +54,18 @@ class ProtocolEmulator:
         directory = BlockDirectory()
         # Sharers that will acknowledge a future invalidation in racy order.
         racy_ack_members: set[NodeId] = set()
-        out: list[Message] = []
+        out: list[tuple[int, Message]] = []
+        epoch_index = 0
 
         def emit(kind: MessageKind, node: NodeId) -> None:
-            out.append(Message(kind=kind, node=node, block=script.block))
+            out.append(
+                (epoch_index, Message(kind=kind, node=node, block=script.block))
+            )
             self.stats.bump(f"msg_{kind.value}")
             if kind.is_request:
                 self.stats.bump("requests")
 
-        for epoch in script.epochs:
+        for epoch_index, epoch in enumerate(script.epochs):
             if isinstance(epoch, ReadEpoch):
                 arrival = list(epoch.readers)
                 if epoch.racy and len(arrival) > 1:
@@ -95,3 +104,36 @@ class ProtocolEmulator:
         """Yield ``(block, messages)`` for every script."""
         for script in scripts:
             yield script.block, self.messages_for(script)
+
+    def compile(
+        self, scripts: Iterable[BlockScript], num_nodes: int
+    ) -> "CompiledTrace":
+        """Compile every script's message stream into one columnar trace.
+
+        The result is bit-equivalent to :meth:`run`: decoding the trace
+        (:meth:`~repro.trace.compiled.CompiledTrace.to_messages`) yields
+        exactly the messages ``run`` would, in the same block-major
+        order.  Races draw from the same per-block RNG streams, so
+        compiling and replaying are interchangeable.
+        """
+        # Imported here so the protocol layer stays importable without
+        # pulling numpy in (repro.trace requires it).
+        from repro.trace.compiled import KIND_TO_CODE, CompiledTrace
+
+        kinds: list[int] = []
+        nodes: list[int] = []
+        blocks: list[int] = []
+        epochs: list[int] = []
+        for script in scripts:
+            for epoch_index, message in self.script_events(script):
+                kinds.append(KIND_TO_CODE[message.kind])
+                nodes.append(message.node)
+                blocks.append(message.block)
+                epochs.append(epoch_index)
+        return CompiledTrace.from_columns(
+            kinds=kinds,
+            nodes=nodes,
+            blocks=blocks,
+            epochs=epochs,
+            num_nodes=num_nodes,
+        )

@@ -41,6 +41,7 @@ class ServiceApp:
         self.jobs = jobs
         self.started_at = time.time()
         self._cache_count: tuple[float, int | None] | None = None
+        self._trace_count: tuple[float, int | None] | None = None
 
     def servable_kinds(self) -> tuple[str, ...]:
         return tuple(k for k in runner_kinds() if k not in UNSERVABLE_KINDS)
@@ -54,6 +55,10 @@ class ServiceApp:
             return self._require_get(request, self._statz)
         if request.path == "/v1/experiments":
             return self._require_get(request, self._experiments)
+        if request.path.startswith("/v1/experiments/"):
+            if request.method != "GET":
+                return error_response(405, "use GET /v1/experiments/<name>")
+            return self._run_experiment(request)
         if request.path == "/v1/point":
             if request.method != "GET":
                 return error_response(405, "use GET /v1/point")
@@ -104,16 +109,50 @@ class ServiceApp:
             "cache_dir": str(store.root) if store is not None else None,
             "cache_entries": self._count_cache_entries(),
         }
+        from repro.trace import configured_trace_dir
+
+        trace_dir = configured_trace_dir()
+        snapshot["trace_cache"].update(
+            {
+                "dir": trace_dir,
+                "entries": self._count_trace_entries(trace_dir),
+            }
+        )
         return Response(payload=snapshot)
 
     def _count_cache_entries(self) -> int | None:
-        """len(store), amortized: the scan result is reused for a few seconds."""
-        if self.pool.runner.store is None:
+        """Point entries in the store, amortized over a few seconds.
+
+        Compiled traces share the store's directory (under ``trace/``)
+        but are inputs, not point results — they are excluded here and
+        counted separately in the ``trace_cache`` section.
+        """
+        store = self.pool.runner.store
+        if store is None:
             return None
         now = time.monotonic()
         if self._cache_count is None or now - self._cache_count[0] > _CACHE_COUNT_TTL_S:
-            self._cache_count = (now, len(self.pool.runner.store))
+            from repro.trace.cache import TRACE_KIND
+
+            total = len(store)
+            traces = len(list(store.root.glob(f"{TRACE_KIND}/*.json")))
+            self._cache_count = (now, total - traces)
         return self._cache_count[1]
+
+    def _count_trace_entries(self, trace_dir: str | None) -> int | None:
+        """Compiled traces on disk, amortized like the cache-entry count."""
+        if trace_dir is None:
+            return None
+        now = time.monotonic()
+        if self._trace_count is None or now - self._trace_count[0] > _CACHE_COUNT_TTL_S:
+            from pathlib import Path
+
+            from repro.trace.cache import TRACE_KIND
+
+            self._trace_count = (
+                now, len(list(Path(trace_dir).glob(f"{TRACE_KIND}/*.json")))
+            )
+        return self._trace_count[1]
 
     def _experiments(self, request: Request) -> Response:
         from repro.eval.experiments import experiment_catalog
@@ -123,6 +162,56 @@ class ServiceApp:
                 "experiments": experiment_catalog(),
                 "kinds": list(self.servable_kinds()),
             }
+        )
+
+    def _run_experiment(self, request: Request) -> Response:
+        """``GET /v1/experiments/<name>``: run a named experiment.
+
+        Grid-shaped experiments expand to exactly the sweep points their
+        CLI drivers run and become a background job on the shared pool
+        (202 + poll URL), so their points coalesce with interactive
+        requests and land in the same cache.  Static configuration
+        tables (table1/table2) have no grid and return inline.
+        ``?fast=1`` selects the quarter-size grids.
+        """
+        from repro.eval.experiments import (
+            EXPERIMENTS,
+            STATIC_EXPERIMENTS,
+            experiment_spec,
+            run_experiment,
+        )
+
+        name = request.path.removeprefix("/v1/experiments/")
+        if name not in EXPERIMENTS:
+            return error_response(
+                404,
+                f"no such experiment: {name!r} (known: {', '.join(EXPERIMENTS)})",
+            )
+        fast = request.query.get("fast") in ("1", "true", "yes")
+        if name in STATIC_EXPERIMENTS:
+            return Response(
+                payload={
+                    "experiment": name,
+                    "static": True,
+                    "result": run_experiment(name, fast=fast),
+                }
+            )
+        spec = experiment_spec(name, fast=fast)
+        assert spec is not None  # non-static experiments all have grids
+        points = spec.points()
+        try:
+            job = self.jobs.submit(spec.kind, points, experiment=name)
+        except PoolSaturated as exc:
+            return error_response(429, str(exc), retry_after_s=5.0)
+        return Response(
+            status=202,
+            payload={
+                "job": job.id,
+                "experiment": name,
+                "fast": fast,
+                "points": len(points),
+                "poll": f"/v1/jobs/{job.id}",
+            },
         )
 
     # ------------------------------------------------------------------

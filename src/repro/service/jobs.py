@@ -63,6 +63,10 @@ class ServiceStats:
     errors: int = 0
     compute_seconds: float = 0.0
     saved_seconds: float = 0.0
+    #: Compiled-trace cache events observed by computed points (a point
+    #: served from the result cache never compiles a trace at all).
+    trace_hits: int = 0
+    trace_misses: int = 0
     hit_latencies_ms: deque = field(default_factory=lambda: deque(maxlen=1024))
     compute_latencies_ms: deque = field(default_factory=lambda: deque(maxlen=1024))
 
@@ -77,6 +81,8 @@ class ServiceStats:
         self.compute_latencies_ms.append(1000.0 * wall_s)
         if outcome.elapsed_s:
             self.compute_seconds += outcome.elapsed_s
+        self.trace_hits += outcome.trace_hits
+        self.trace_misses += outcome.trace_misses
 
     @property
     def point_requests(self) -> int:
@@ -100,6 +106,15 @@ class ServiceStats:
             "queue_depth_bound": queue_bound,
             "compute_seconds": round(self.compute_seconds, 3),
             "cache_saved_seconds": round(self.saved_seconds, 3),
+            "trace_cache": {
+                "hits": self.trace_hits,
+                "misses": self.trace_misses,
+                "hit_rate": (
+                    round(self.trace_hits / (self.trace_hits + self.trace_misses), 4)
+                    if (self.trace_hits + self.trace_misses)
+                    else None
+                ),
+            },
             "latency_ms": {
                 "hit": {
                     "count": len(hit),
@@ -208,6 +223,9 @@ class SweepJob:
     id: str
     kind: str
     points: list[SweepPoint]
+    #: Name of the named experiment this job runs, when submitted via
+    #: ``GET /v1/experiments/<name>`` (None for raw ``POST /v1/sweep``).
+    experiment: str | None = None
     state: str = "running"  # running | done | failed
     done: int = 0
     cached: int = 0
@@ -221,6 +239,7 @@ class SweepJob:
         payload: dict[str, Any] = {
             "job": self.id,
             "kind": self.kind,
+            "experiment": self.experiment,
             "state": self.state,
             "total": len(self.points),
             "done": self.done,
@@ -250,7 +269,12 @@ class JobTable:
         self._jobs: dict[str, SweepJob] = {}
         self._counter = itertools.count(1)
 
-    def submit(self, kind: str, points: list[SweepPoint]) -> SweepJob:
+    def submit(
+        self,
+        kind: str,
+        points: list[SweepPoint],
+        experiment: str | None = None,
+    ) -> SweepJob:
         self._evict_finished()
         if len(self._jobs) >= self.max_jobs:
             raise PoolSaturated(
@@ -261,6 +285,7 @@ class JobTable:
             id=f"job-{number:05d}-{points[0].key[:8] if points else 'empty'}",
             kind=kind,
             points=points,
+            experiment=experiment,
             results=[None] * len(points),
         )
         self._jobs[job.id] = job
@@ -297,7 +322,12 @@ class JobTable:
 
     def _evict_finished(self) -> None:
         """Drop oldest finished jobs once the table is over capacity."""
-        finished = [job for job in self.jobs() if job.state != "running"]
         overflow = len(self._jobs) - self.max_jobs + 1
+        if overflow <= 0:
+            # NOTE: a negative overflow must not reach the slice below —
+            # finished[:negative] would evict almost every finished job
+            # while the table is still far under capacity.
+            return
+        finished = [job for job in self.jobs() if job.state != "running"]
         for job in finished[:overflow]:
             del self._jobs[job.id]

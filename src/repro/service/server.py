@@ -59,6 +59,13 @@ class ReproService:
                 jobs=self.config.jobs, store=store, refresh=self.config.refresh
             )
         self.runner = runner
+        if self.runner.store is not None:
+            # Compiled traces share the point cache's directory; the
+            # incremental pool's workers (thread or forked processes)
+            # inherit this configuration.
+            from repro.trace import configure_trace_cache
+
+            configure_trace_cache(self.runner.store.root)
         self.pool = ComputePool(
             runner,
             max_pending=self.config.max_pending,

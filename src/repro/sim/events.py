@@ -31,16 +31,29 @@ class EventQueue:
         self._sequence += 1
 
     def run(self, max_events: int | None = None) -> int:
-        """Drain the queue; returns the number of events processed."""
+        """Drain the queue; returns the number of events processed.
+
+        The budget is checked *before* each pop: ``run(max_events=0)``
+        returns 0 with the queue — and ``now`` — untouched, so a caller
+        can use a zero budget as a pure no-op probe.
+        """
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be >= 0")
         processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
-                break
+        while self._heap and (max_events is None or processed < max_events):
             time, _seq, fn = heapq.heappop(self._heap)
             self.now = time
             fn()
             processed += 1
         return processed
+
+    def peek_time(self) -> int | None:
+        """Scheduled time of the next event, or None when the queue is
+        empty — lets the timing simulator look ahead (e.g. to bound a
+        bounded-drain ``run``) without disturbing the heap."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -1,0 +1,142 @@
+"""Columnar message traces: the home-directory stream as parallel arrays.
+
+A :class:`CompiledTrace` holds the *entire* message stream a workload
+presents to its home directories — every block's sequence, concatenated
+block-major — as four parallel numpy columns:
+
+* ``kinds``  — message-kind codes (:data:`KIND_CODES` order),
+* ``nodes``  — sending processor ids,
+* ``blocks`` — block ids (each block's messages are contiguous),
+* ``epochs`` — the ordinal of the originating epoch within its block
+  script (diagnostics and future timing work; the predictors ignore it).
+
+Compiling the trace once decouples trace *generation* (the Python-loop
+protocol emulation) from trace *consumption*: the vectorized predictor
+evaluators (:mod:`repro.trace.vectorized`) do batched numpy passes over
+the columns, and :meth:`CompiledTrace.to_messages` decodes the identical
+per-message stream for the reference predictors — the two views are the
+same trace by construction, which is what the equivalence golden tests
+lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.canonical import canonical_hash
+from repro.common.types import Message, MessageKind
+
+#: Fixed kind encoding: ``kinds`` column value = index into this tuple.
+#: Codes 0..2 are the request kinds (READ/WRITE/UPGRADE), matching
+#: :data:`repro.common.types.REQUEST_KINDS`; 3..4 are acknowledgements.
+KIND_CODES: tuple[MessageKind, ...] = (
+    MessageKind.READ,
+    MessageKind.WRITE,
+    MessageKind.UPGRADE,
+    MessageKind.ACK,
+    MessageKind.WRITEBACK,
+)
+
+#: kind -> column code.
+KIND_TO_CODE: dict[MessageKind, int] = {k: i for i, k in enumerate(KIND_CODES)}
+
+#: Codes <= this value are request messages.
+MAX_REQUEST_CODE = KIND_TO_CODE[MessageKind.UPGRADE]
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class CompiledTrace:
+    """The full home-directory message stream, encoded as columns."""
+
+    kinds: np.ndarray  # uint8 codes into KIND_CODES
+    nodes: np.ndarray  # int32 sender ids
+    blocks: np.ndarray  # int64 block ids, block-major
+    epochs: np.ndarray  # int32 epoch ordinal within the block script
+    num_nodes: int
+    #: Cached segment boundaries; computed lazily by ``block_starts``.
+    _starts: list = field(default_factory=list, repr=False)
+
+    def __len__(self) -> int:
+        return int(self.kinds.shape[0])
+
+    @classmethod
+    def from_columns(
+        cls,
+        kinds: Any,
+        nodes: Any,
+        blocks: Any,
+        epochs: Any,
+        num_nodes: int,
+    ) -> "CompiledTrace":
+        return cls(
+            kinds=np.asarray(kinds, dtype=np.uint8),
+            nodes=np.asarray(nodes, dtype=np.int32),
+            blocks=np.asarray(blocks, dtype=np.int64),
+            epochs=np.asarray(epochs, dtype=np.int32),
+            num_nodes=int(num_nodes),
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def block_starts(self) -> np.ndarray:
+        """Index of each block segment's first message (ascending)."""
+        if not self._starts:
+            if len(self) == 0:
+                starts = np.empty(0, dtype=np.int64)
+            else:
+                change = np.flatnonzero(self.blocks[1:] != self.blocks[:-1]) + 1
+                starts = np.concatenate(([0], change))
+            self._starts.append(starts)
+        return self._starts[0]
+
+    def block_count(self) -> int:
+        return int(self.block_starts.shape[0])
+
+    def request_mask(self) -> np.ndarray:
+        """Boolean mask selecting the three request kinds."""
+        return self.kinds <= MAX_REQUEST_CODE
+
+    # ------------------------------------------------------------------
+    # the reference view
+    # ------------------------------------------------------------------
+    def to_messages(self) -> Iterator[Message]:
+        """Decode the identical per-message stream (reference path)."""
+        kinds, nodes, blocks = self.kinds, self.nodes, self.blocks
+        for i in range(len(self)):
+            yield Message(
+                kind=KIND_CODES[kinds[i]],
+                node=int(nodes[i]),
+                block=int(blocks[i]),
+            )
+
+    # ------------------------------------------------------------------
+    # serialization (the trace-cache payload)
+    # ------------------------------------------------------------------
+    def as_payload(self) -> dict[str, Any]:
+        """A JSON-representable form, loadable by :meth:`from_payload`."""
+        return {
+            "num_nodes": self.num_nodes,
+            "kinds": self.kinds.tolist(),
+            "nodes": self.nodes.tolist(),
+            "blocks": self.blocks.tolist(),
+            "epochs": self.epochs.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CompiledTrace":
+        return cls.from_columns(
+            kinds=payload["kinds"],
+            nodes=payload["nodes"],
+            blocks=payload["blocks"],
+            epochs=payload["epochs"],
+            num_nodes=payload["num_nodes"],
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON form of the columns."""
+        return canonical_hash(self.as_payload())

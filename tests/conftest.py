@@ -22,6 +22,29 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.slow)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_trace_cache():
+    """Reset the process-wide trace-cache configuration around each test.
+
+    The CLI and the HTTP service configure the compiled-trace cache
+    globally (so forked sweep workers inherit it); without this, a test
+    that boots either would leave later tests silently reading a
+    tmp-path cache directory.
+    """
+    import os
+
+    from repro.trace import cache
+
+    saved = cache._configured
+    saved_env = os.environ.get(cache.TRACE_CACHE_ENV)
+    yield
+    cache._configured = saved
+    if saved_env is None:
+        os.environ.pop(cache.TRACE_CACHE_ENV, None)
+    else:
+        os.environ[cache.TRACE_CACHE_ENV] = saved_env
+
+
 @pytest.fixture
 def rng() -> DeterministicRng:
     return DeterministicRng(2024, "tests")

@@ -248,3 +248,97 @@ class TestJobs:
         import os
 
         assert result.values[0]["pid"] == os.getpid()
+
+
+class TestStragglerPacking:
+    """Chunk packing by predicted duration (recorded wall times)."""
+
+    def _points(self, apps, reps=1):
+        return [
+            SweepPoint.make("selftest", {"payload": f"{app}-{i}", "app": app})
+            for i in range(reps)
+            for app in apps
+        ]
+
+    def test_no_store_packs_balanced_counts(self):
+        runner = ParallelRunner(jobs=2)
+        points = ECHO_SPEC.points()
+        chunks = runner._pack_chunks(points, workers=2)
+        assert sorted(i for chunk in chunks for i in chunk) == list(range(5))
+        assert max(len(c) for c in chunks) <= 1 + min(len(c) for c in chunks)
+
+    def test_explicit_chunk_size_keeps_fixed_slices(self):
+        runner = ParallelRunner(jobs=2, chunk_size=2)
+        chunks = runner._pack_chunks(ECHO_SPEC.points(), workers=2)
+        assert chunks == [[0, 1], [2, 3], [4]]
+
+    def test_app_level_means_drive_packing(self, tmp_path):
+        """An app recorded as slow is spread across chunks first."""
+        store = ResultStore(tmp_path)
+        # history: 'ocean' points took 4s, 'em3d' points 1s
+        for i, (app, elapsed) in enumerate(
+            [("ocean", 4.0), ("ocean", 4.0), ("em3d", 1.0), ("em3d", 1.0)]
+        ):
+            store.store(
+                SweepPoint.make("selftest", {"payload": f"old-{i}", "app": app}),
+                {"echo": i},
+                elapsed_s=elapsed,
+            )
+        runner = ParallelRunner(jobs=2, store=store)
+        pending = self._points(["ocean", "em3d"], reps=4)
+        durations = runner._predicted_durations(pending)
+        by_app = {p["app"]: d for p, d in zip(pending, durations)}
+        assert by_app == {"ocean": 4.0, "em3d": 1.0}
+        chunks = runner._pack_chunks(pending, workers=1)
+        loads = [sum(durations[i] for i in chunk) for chunk in chunks]
+        # greedy LPT on 4x4s + 4x1s over 4 bins: perfectly even 5s bins
+        assert loads == [5.0, 5.0, 5.0, 5.0]
+
+    def test_point_recorded_time_wins_under_refresh(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = SweepPoint.make("selftest", {"payload": 1, "app": "em3d"})
+        store.store(point, {"echo": 1}, elapsed_s=9.0)
+        runner = ParallelRunner(jobs=2, store=store, refresh=True)
+        assert runner._predicted_durations([point]) == [9.0]
+
+    def test_kind_mean_fallback_without_app_match(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(
+            SweepPoint.make("selftest", {"payload": "x"}), {"echo": 0}, elapsed_s=3.0
+        )
+        runner = ParallelRunner(jobs=2, store=store)
+        fresh = [SweepPoint.make("selftest", {"payload": "y", "app": "novel"})]
+        assert runner._predicted_durations(fresh) == [3.0]
+
+    def test_packing_is_deterministic(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(6):
+            store.store(
+                SweepPoint.make("selftest", {"payload": f"o{i}", "app": f"a{i % 3}"}),
+                {"echo": i},
+                elapsed_s=float(i + 1),
+            )
+        runner = ParallelRunner(jobs=3, store=store)
+        pending = self._points([f"a{i}" for i in range(3)], reps=5)
+        first = runner._pack_chunks(pending, workers=3)
+        second = runner._pack_chunks(pending, workers=3)
+        assert first == second
+
+    def test_packed_parallel_run_preserves_grid_order(self, tmp_path):
+        """Packing reorders execution, never results."""
+        store = ResultStore(tmp_path)
+        # seed uneven history so packing actually deviates from slices
+        for app, elapsed in [("slow", 8.0), ("fast", 1.0)]:
+            store.store(
+                SweepPoint.make("selftest", {"payload": "seed", "app": app}),
+                {"echo": 0},
+                elapsed_s=elapsed,
+            )
+        spec = SweepSpec(
+            kind="selftest",
+            axes={"payload": list(range(8)), "app": ["slow", "fast"]},
+        )
+        packed = ParallelRunner(jobs=2, store=store).run(spec)
+        serial = ParallelRunner(jobs=1).run(spec)
+        assert packed.points == serial.points
+        assert echoes(packed) == echoes(serial)

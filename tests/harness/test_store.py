@@ -167,3 +167,74 @@ class TestMaintenance:
 
     def test_len_on_missing_root(self, tmp_path):
         assert len(ResultStore(tmp_path / "never-created")) == 0
+
+
+class TestEntryMeta:
+    def test_meta_round_trips(self, tmp_path, point):
+        store = ResultStore(tmp_path)
+        store.store(point, {"x": 1}, elapsed_s=0.5, meta={"content_hash": "abc"})
+        entry = store.load_entry(point)
+        assert entry.meta == {"content_hash": "abc"}
+        assert entry.elapsed_s == 0.5
+
+    def test_v2_entry_loads_with_absent_meta(self, tmp_path, point):
+        """Old caches (entry v2: no meta field) still load."""
+        import json
+
+        store = ResultStore(tmp_path)
+        path = store.store(point, {"x": 1}, elapsed_s=0.5)
+        entry = json.loads(path.read_text())
+        entry.pop("meta", None)
+        entry["entry_version"] = 2
+        path.write_text(json.dumps(entry))
+        loaded = store.load_entry(point)
+        assert loaded.result == {"x": 1}
+        assert loaded.elapsed_s == 0.5
+        assert loaded.meta is None
+
+    def test_garbage_meta_reads_as_absent(self, tmp_path, point):
+        import json
+
+        store = ResultStore(tmp_path)
+        path = store.store(point, "ok", meta={"fine": 1})
+        entry = json.loads(path.read_text())
+        entry["meta"] = ["not", "a", "dict"]
+        path.write_text(json.dumps(entry))
+        assert store.load_entry(point).meta is None
+
+
+class TestRecordedTimes:
+    def test_returns_params_and_elapsed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(
+            SweepPoint.make("selftest", {"payload": 1, "app": "em3d"}),
+            "a",
+            elapsed_s=1.5,
+        )
+        store.store(SweepPoint.make("selftest", {"payload": 2}), "b", elapsed_s=2.5)
+        store.store(SweepPoint.make("selftest", {"payload": 3}), "c")  # untimed
+        times = store.recorded_times("selftest")
+        assert sorted(elapsed for _p, elapsed in times) == [1.5, 2.5]
+        apps = {params.get("app") for params, _e in times}
+        assert apps == {"em3d", None}
+
+    def test_other_kinds_and_missing_dir_are_empty(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(SweepPoint.make("selftest", {"payload": 1}), "a", elapsed_s=1.0)
+        assert store.recorded_times("accuracy") == []
+        assert ResultStore(tmp_path / "nope").recorded_times("selftest") == []
+
+    def test_unreadable_entries_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(
+            SweepPoint.make("selftest", {"payload": 1}), "a", elapsed_s=1.0
+        )
+        (path.parent / "junk.json").write_text("{not json")
+        assert len(store.recorded_times("selftest")) == 1
+
+    def test_reads_across_fingerprints(self, tmp_path):
+        """Stale-fingerprint entries still contribute timing signal."""
+        old = ResultStore(tmp_path, fingerprint={"version": "0.0"})
+        old.store(SweepPoint.make("selftest", {"payload": 1}), "a", elapsed_s=4.0)
+        fresh = ResultStore(tmp_path)
+        assert [e for _p, e in fresh.recorded_times("selftest")] == [4.0]

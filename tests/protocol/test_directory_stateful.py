@@ -1,0 +1,161 @@
+"""Stateful property test for the full-map directory FSM.
+
+A Hypothesis :class:`RuleBasedStateMachine` drives a
+:class:`~repro.protocol.directory.BlockDirectory` through arbitrary
+legal interleavings of reads, writes, recalls, and the speculation
+hooks, mirroring every step against a trivially correct model (a sharer
+set plus an optional exclusive owner).  After every rule the invariants
+the predictors and the speculation engine rely on must hold:
+
+* EXCLUSIVE  ⟺  exactly one owner, no sharers,
+* SHARED     ⟺  at least one sharer, no owner,
+* IDLE       ⟺  no copies at all,
+* transitions report exactly the coherence messages the model expects
+  (request kind, invalidation set in full-map order, writeback source).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.types import DirectoryState, MessageKind
+from repro.protocol.directory import BlockDirectory
+from tests.strategies import STANDARD_SETTINGS
+
+pytestmark = pytest.mark.property
+
+#: A small node universe keeps collisions (re-reads, self-writes,
+#: owner hand-offs) frequent instead of vanishingly rare.
+NODES = st.integers(min_value=0, max_value=5)
+
+
+class DirectoryMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.directory = BlockDirectory()
+        self.sharers: set[int] = set()
+        self.owner: int | None = None
+
+    # ------------------------------------------------------------------
+    # rules: every legal request the protocol can present
+    # ------------------------------------------------------------------
+    @rule(node=NODES)
+    def read(self, node: int) -> None:
+        had_copy = node == self.owner or node in self.sharers
+        previous_owner = self.owner
+        transition = self.directory.read(node)
+        if had_copy:
+            assert not transition.generated_request
+            assert transition.writeback_from is None
+            return
+        assert transition.request is MessageKind.READ
+        assert transition.invalidated == ()
+        if previous_owner is not None:
+            # the writable copy is written back and downgraded away
+            assert transition.writeback_from == previous_owner
+            self.owner = None
+            self.sharers = {node}
+        else:
+            assert transition.writeback_from is None
+            self.sharers.add(node)
+
+    @rule(node=NODES)
+    def write(self, node: int) -> None:
+        previous_owner = self.owner
+        previous_sharers = set(self.sharers)
+        transition = self.directory.write(node)
+        if previous_owner == node:
+            assert not transition.generated_request
+            return
+        if previous_owner is not None:
+            assert transition.request is MessageKind.WRITE
+            assert transition.writeback_from == previous_owner
+            assert transition.invalidated == ()
+        elif previous_sharers:
+            expected_kind = (
+                MessageKind.UPGRADE
+                if node in previous_sharers
+                else MessageKind.WRITE
+            )
+            assert transition.request is expected_kind
+            # full-map order: sorted, and never including the writer
+            assert transition.invalidated == tuple(
+                sorted(previous_sharers - {node})
+            )
+            assert transition.writeback_from is None
+        else:
+            assert transition.request is MessageKind.WRITE
+            assert transition.invalidated == ()
+            assert transition.writeback_from is None
+        self.owner = node
+        self.sharers = set()
+
+    @rule()
+    def recall(self) -> None:
+        previous_owner = self.owner
+        previous_sharers = set(self.sharers)
+        transition = self.directory.recall()
+        assert transition.request is None
+        if previous_owner is not None:
+            assert transition.writeback_from == previous_owner
+            assert transition.invalidated == ()
+        else:
+            assert transition.writeback_from is None
+            assert transition.invalidated == tuple(sorted(previous_sharers))
+        self.owner = None
+        self.sharers = set()
+
+    @rule(node=NODES)
+    def grant_speculative_copy(self, node: int) -> None:
+        granted = self.directory.grant_speculative_copy(node)
+        expect = self.owner is None and node not in self.sharers
+        assert granted == expect
+        if granted:
+            self.sharers.add(node)
+
+    @rule(node=NODES)
+    def invalidate_sharer(self, node: int) -> None:
+        self.directory.invalidate_sharer(node)
+        # only meaningful for read-only copies; a writable copy stays
+        self.sharers.discard(node)
+
+    @rule(node=NODES)
+    def promote_sole_sharer(self, node: int) -> None:
+        promoted = self.directory.promote_sole_sharer(node)
+        assert promoted == (self.owner is None and self.sharers == {node})
+        if promoted:
+            self.owner = node
+            self.sharers = set()
+
+    # ------------------------------------------------------------------
+    # invariants: checked after every rule
+    # ------------------------------------------------------------------
+    @invariant()
+    def state_matches_copies(self) -> None:
+        directory = self.directory
+        if self.owner is not None:
+            assert directory.state is DirectoryState.EXCLUSIVE
+            assert directory.owner == self.owner
+            assert directory.sharers == set()
+        elif self.sharers:
+            assert directory.state is DirectoryState.SHARED
+            assert directory.owner is None
+            assert directory.sharers == self.sharers
+        else:
+            assert directory.state is DirectoryState.IDLE
+            assert directory.owner is None
+            assert directory.sharers == set()
+
+    @invariant()
+    def holders_are_consistent(self) -> None:
+        expected = {self.owner} if self.owner is not None else self.sharers
+        assert self.directory.holders() == frozenset(expected)
+        for node in range(6):
+            assert self.directory.has_valid_copy(node) == (node in expected)
+
+
+DirectoryMachine.TestCase.settings = STANDARD_SETTINGS
+TestBlockDirectoryStateful = DirectoryMachine.TestCase

@@ -268,3 +268,45 @@ class TestJobTable:
             runner.close()
 
         asyncio.run(scenario())
+
+
+class TestJobEviction:
+    def test_finished_jobs_survive_while_under_capacity(self, tmp_path):
+        """Regression: a new submission must not evict finished jobs
+        while the table is still under max_jobs (the overflow slice
+        used to go negative and delete almost all of them)."""
+
+        async def scenario():
+            pool, runner = make_pool(tmp_path)
+            table = JobTable(pool, max_jobs=64)
+            jobs = [
+                table.submit("svc_probe", [probe_point(payload=i)])
+                for i in range(10)
+            ]
+            await settle(lambda: all(j.state == "done" for j in jobs))
+            one_more = table.submit("svc_probe", [probe_point(payload=99)])
+            await settle(lambda: one_more.state == "done")
+            for job in jobs:
+                assert table.get(job.id) is job  # nothing was evicted
+            runner.close()
+
+        asyncio.run(scenario())
+
+    def test_eviction_kicks_in_at_capacity(self, tmp_path):
+        async def scenario():
+            pool, runner = make_pool(tmp_path)
+            table = JobTable(pool, max_jobs=3)
+            jobs = [
+                table.submit("svc_probe", [probe_point(payload=i)])
+                for i in range(3)
+            ]
+            await settle(lambda: all(j.state == "done" for j in jobs))
+            extra = table.submit("svc_probe", [probe_point(payload=3)])
+            await settle(lambda: extra.state == "done")
+            # the oldest finished job made room; the rest remain
+            assert table.get(jobs[0].id) is None
+            assert table.get(jobs[1].id) is jobs[1]
+            assert table.get(extra.id) is extra
+            runner.close()
+
+        asyncio.run(scenario())

@@ -347,3 +347,108 @@ class TestExperimentsEndpoint:
             assert "speculation" in body["kinds"]
 
         run_with_service(tmp_path, scenario)
+
+    def test_unknown_named_experiment_is_404(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(
+                service.port, "/v1/experiments/figure99"
+            )
+            assert status == 404 and "figure99" in body["error"]
+            status, _ = await http_request(
+                service.port, "/v1/experiments/figure6", method="POST", body={}
+            )
+            assert status == 405
+
+        run_with_service(tmp_path, scenario)
+
+    def test_static_experiment_returns_inline(self, tmp_path):
+        async def scenario(service):
+            status, body = await http_request(service.port, "/v1/experiments/table1")
+            assert status == 200
+            assert body["experiment"] == "table1" and body["static"] is True
+            names = [row[0] for row in body["result"]]
+            assert any("Node" in name or "node" in name for name in names)
+
+        run_with_service(tmp_path, scenario)
+
+    def test_named_experiment_runs_as_background_job(self, tmp_path):
+        async def scenario(service):
+            status, accepted = await http_request(
+                service.port, "/v1/experiments/figure6"
+            )
+            assert status == 202
+            assert accepted["experiment"] == "figure6"
+            assert accepted["points"] == 4  # the four Figure 6 panels
+            for _ in range(500):
+                status, job = await http_request(service.port, accepted["poll"])
+                assert status == 200
+                if job["state"] != "running":
+                    break
+                await asyncio.sleep(0.01)
+            assert job["state"] == "done" and job["done"] == 4
+            assert job["experiment"] == "figure6"
+            # the job's points landed in the shared cache: fetching one
+            # over /v1/point is now a pure hit
+            status, point = await http_request(
+                service.port, "/v1/point?kind=analytic&panel=accuracy&points=21"
+            )
+            assert status == 200 and point["cached"] is True
+
+        run_with_service(tmp_path, scenario)
+
+    def test_experiment_points_match_cli_driver(self, tmp_path):
+        """The service job runs exactly the grid the CLI driver runs."""
+        from repro.eval.experiments import accuracy_spec, experiment_spec
+
+        assert experiment_spec("figure7").points() == accuracy_spec(False).points()
+        spec = experiment_spec("figure7", fast=True)
+        assert spec.points() == accuracy_spec(True).points()
+        assert experiment_spec("table1") is None
+
+
+class TestTraceCacheStats:
+    def test_statz_reports_trace_cache_events(self, tmp_path):
+        async def scenario(service):
+            target = (
+                "/v1/point?kind=accuracy&app=em3d&num_procs=8&iterations=3"
+            )
+            status, first = await http_request(service.port, target)
+            assert status == 200 and first["cached"] is False
+            status, stats = await http_request(service.port, "/statz")
+            trace = stats["trace_cache"]
+            assert trace["misses"] == 1 and trace["hits"] == 0
+            assert trace["hit_rate"] == 0.0
+            assert trace["dir"].endswith("cache")
+            assert trace["entries"] == 1
+            # the point-cache count excludes the compiled trace
+            assert stats["runner"]["cache_entries"] == 1
+            # a different depth recompiles nothing: the trace is shared
+            status, second = await http_request(
+                service.port, target + "&depth=2"
+            )
+            assert status == 200 and second["cached"] is False
+            status, stats = await http_request(service.port, "/statz")
+            trace = stats["trace_cache"]
+            assert trace["misses"] == 1 and trace["hits"] == 1
+            assert trace["hit_rate"] == 0.5
+
+        run_with_service(tmp_path, scenario)
+
+    def test_point_entry_records_trace_provenance(self, tmp_path):
+        async def scenario(service):
+            target = (
+                "/v1/point?kind=accuracy&app=em3d&num_procs=8&iterations=3"
+            )
+            status, _body = await http_request(service.port, target)
+            assert status == 200
+            store = service.runner.store
+            from repro.harness import SweepPoint
+
+            entry = store.load_entry(
+                SweepPoint.make(
+                    "accuracy", {"app": "em3d", "num_procs": 8, "iterations": 3}
+                )
+            )
+            assert entry.meta == {"trace_cache": {"hits": 0, "misses": 1}}
+
+        run_with_service(tmp_path, scenario)

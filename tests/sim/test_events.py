@@ -61,6 +61,36 @@ class TestEventQueue:
         assert queue.run(max_events=4) == 4
         assert len(queue) == 6
 
+    def test_max_events_zero_is_a_noop(self):
+        """Regression: a zero budget must not pop (or run) anything."""
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda: fired.append("boom"))
+        assert queue.run(max_events=0) == 0
+        assert fired == []
+        assert len(queue) == 1
+        assert queue.now == 0
+        # the queue is still fully drainable afterwards
+        assert queue.run() == 1
+        assert fired == ["boom"]
+
+    def test_negative_max_events_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.run(max_events=-1)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(30, lambda: None)
+        queue.schedule(10, lambda: None)
+        assert queue.peek_time() == 10
+        assert len(queue) == 2  # peeking does not pop
+        queue.run(max_events=1)
+        assert queue.peek_time() == 30
+        queue.run()
+        assert queue.peek_time() is None
+
     @given(st.lists(st.integers(0, 1000), max_size=50))
     def test_monotone_time(self, delays):
         queue = EventQueue()
