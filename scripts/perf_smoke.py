@@ -1,30 +1,40 @@
 #!/usr/bin/env python
-"""Perf smoke: the vectorized trace pipeline must beat the reference.
+"""Perf smoke: the fast engines must beat their reference engines.
 
-Runs the same small, fixed accuracy grid (a slice of the Figure 7
-sweep: every app at reduced iterations) through both evaluation
-engines and fails — exit code 1 — if the vectorized path is not
-faster than the per-message reference path on the same grid.  CI runs
-this as the ``perf-smoke`` lane; locally::
+Two independent gates, both run by the CI ``perf-smoke`` lane and
+locally via::
 
     PYTHONPATH=src python scripts/perf_smoke.py
 
-Both engines compute bit-identical results (the golden equivalence
-tests in tests/trace/ enforce that); this script only guards the
-*performance* claim, with a deliberately loose threshold (1.0x) so a
-noisy shared runner cannot flake on a real >2x speedup.
+**Accuracy gate** (PR 3): the vectorized trace pipeline vs the
+per-message reference predictors, over a fixed slice of the Figure 7
+grid (every app at reduced iterations).
 
-The trace cache is left unconfigured: each engine pays for its own
-emulation, so the comparison isolates the vectorized consumption win
-(cache reuse only widens the gap in production).
+**Timing gate** (PR 4): the calendar-queue timing engine
+(``Machine(engine="fast")``) vs the heapq reference engine, over a
+Figure 9 slice (three apps, Base-DSM + SWI-DSM).  Engine runs are
+interleaved attempt by attempt so a drifting shared runner cannot bias
+one side, every cell also asserts the two engines' ``RunResult`` is
+bit-identical (a cheap re-check of the golden suite's contract), and
+the measured per-cell and total speedups are written to
+``BENCH_timing.json`` at the repo root.
+
+Both comparisons compute bit-identical results (tests/trace/ and
+tests/sim/test_engine_equivalence.py enforce that); this script guards
+the *performance* claims.  The hard thresholds are deliberately loose
+(1.0x — "fast must never be slower") so a noisy shared runner cannot
+flake on real >1.5x speedups; the recorded numbers are the claim.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import sys
 import time
+from pathlib import Path
 
-#: The fixed grid: every app, quarter-ish iterations, paper node count.
+#: The fixed accuracy grid: every app, reduced iterations, paper nodes.
 GRID_ITERATIONS = {
     "appbt": 8,
     "barnes": 10,
@@ -37,11 +47,20 @@ GRID_ITERATIONS = {
 NUM_PROCS = 16
 DEPTH = 1
 
-#: Fail when vectorized is not at least this many times faster.
+#: Fail when a fast path is not at least this many times faster.
 THRESHOLD = 1.0
 
 #: Timing runs per engine; the best one is kept (damps CI noise).
 ATTEMPTS = 2
+
+#: The Figure 9 slice: three apps on Base-DSM + SWI-DSM (the paper's
+#: baseline and its full speculative variant).
+TIMING_GRID = {"appbt": 4, "barnes": 4, "ocean": 4}
+TIMING_MODES = ("Base-DSM", "SWI-DSM")
+TIMING_ATTEMPTS = 3
+TIMING_THRESHOLD = 1.0
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_timing.json"
 
 
 def run_grid(engine: str) -> float:
@@ -64,22 +83,121 @@ def run_grid(engine: str) -> float:
     return best
 
 
-def main() -> int:
+def accuracy_gate() -> int:
     reference = run_grid("reference")
     vectorized = run_grid("vectorized")
     speedup = reference / vectorized if vectorized else float("inf")
     print(
-        f"perf-smoke: {len(GRID_ITERATIONS)} apps x 3 predictors, "
+        f"perf-smoke[accuracy]: {len(GRID_ITERATIONS)} apps x 3 predictors, "
         f"num_procs={NUM_PROCS}, depth={DEPTH}"
     )
     print(f"  reference  engine: {reference:7.2f}s")
     print(f"  vectorized engine: {vectorized:7.2f}s")
     print(f"  speedup:           {speedup:7.2f}x (threshold {THRESHOLD:.1f}x)")
     if speedup < THRESHOLD:
-        print("perf-smoke: FAIL — vectorized path is slower than reference")
+        print("perf-smoke[accuracy]: FAIL — vectorized slower than reference")
         return 1
-    print("perf-smoke: OK")
+    print("perf-smoke[accuracy]: OK")
     return 0
+
+
+def timing_gate() -> int:
+    from repro.apps.registry import make_app
+    from repro.common.config import SystemConfig
+    from repro.sim.machine import Machine, MachineMode
+
+    modes = {m.value: m for m in MachineMode}
+    config = SystemConfig(num_nodes=NUM_PROCS)
+    workloads = {
+        app: make_app(
+            app, num_procs=NUM_PROCS, iterations=iterations, seed=1999
+        ).build()
+        for app, iterations in TIMING_GRID.items()
+    }
+
+    cells = {}
+    totals = {"reference": 0.0, "fast": 0.0}
+    identical = True
+    print(
+        f"perf-smoke[timing]: figure9 slice — {len(TIMING_GRID)} apps x "
+        f"{{{', '.join(TIMING_MODES)}}}, num_procs={NUM_PROCS}, "
+        f"iterations={set(TIMING_GRID.values()).pop()}"
+    )
+    for app, workload in workloads.items():
+        for mode_name in TIMING_MODES:
+            mode = modes[mode_name]
+            best = {"reference": float("inf"), "fast": float("inf")}
+            results = {}
+            for _ in range(TIMING_ATTEMPTS):
+                # Interleave engines within each attempt so runner
+                # speed drift hits both sides equally.
+                for engine in ("reference", "fast"):
+                    machine = Machine(
+                        workload, config=config, mode=mode, engine=engine
+                    )
+                    started = time.perf_counter()
+                    results[engine] = machine.run()
+                    best[engine] = min(
+                        best[engine], time.perf_counter() - started
+                    )
+            same = dataclasses.asdict(results["reference"]) == dataclasses.asdict(
+                results["fast"]
+            )
+            identical = identical and same
+            speedup = best["reference"] / best["fast"] if best["fast"] else 0.0
+            cells[f"{app}/{mode_name}"] = {
+                "reference_s": round(best["reference"], 4),
+                "fast_s": round(best["fast"], 4),
+                "speedup": round(speedup, 2),
+                "run_result_identical": same,
+            }
+            totals["reference"] += best["reference"]
+            totals["fast"] += best["fast"]
+            print(
+                f"  {app:6s} {mode_name:8s} reference={best['reference']:6.3f}s "
+                f"fast={best['fast']:6.3f}s speedup={speedup:5.2f}x "
+                f"identical={same}"
+            )
+
+    total_speedup = totals["reference"] / totals["fast"] if totals["fast"] else 0.0
+    print(
+        f"  total: reference={totals['reference']:6.3f}s "
+        f"fast={totals['fast']:6.3f}s speedup={total_speedup:5.2f}x "
+        f"(threshold {TIMING_THRESHOLD:.1f}x)"
+    )
+
+    bench = {
+        "benchmark": "figure9-slice timing engine (fast vs reference)",
+        "num_procs": NUM_PROCS,
+        "iterations": dict(TIMING_GRID),
+        "modes": list(TIMING_MODES),
+        "attempts": TIMING_ATTEMPTS,
+        "cells": cells,
+        "total": {
+            "reference_s": round(totals["reference"], 4),
+            "fast_s": round(totals["fast"], 4),
+            "speedup": round(total_speedup, 2),
+        },
+        "threshold": TIMING_THRESHOLD,
+    }
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"  wrote {BENCH_PATH.name}")
+
+    if not identical:
+        print("perf-smoke[timing]: FAIL — engines disagree on RunResult")
+        return 1
+    if total_speedup < TIMING_THRESHOLD:
+        print("perf-smoke[timing]: FAIL — fast engine slower than reference")
+        return 1
+    print("perf-smoke[timing]: OK")
+    return 0
+
+
+def main() -> int:
+    status = accuracy_gate()
+    print()
+    status |= timing_gate()
+    return status
 
 
 if __name__ == "__main__":

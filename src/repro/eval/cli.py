@@ -21,6 +21,11 @@ paper's own, printing one JSON object per point::
     repro-paper sweep --kind accuracy --axis app=em3d,moldyn \\
         --axis depth=1,2,4 --set iterations=8 --jobs 4
 
+Accuracy points run on the vectorized trace pipeline and speculation
+points on the calendar-queue timing engine by default; pass ``--set
+engine=reference`` to select the bit-identical reference engines
+(docs/performance.md).
+
 The ``serve`` subcommand exposes the same sweep points over HTTP —
 cached results answer instantly, misses are computed in a worker pool
 with request coalescing (see ``docs/service.md``)::
@@ -123,6 +128,14 @@ def _sweep_main(argv: list[str]) -> int:
         description=(
             "Run a user-defined parameter grid through the experiment "
             "harness and print one JSON object per sweep point."
+        ),
+        epilog=(
+            "Engine switches: accuracy points accept --set "
+            "engine=reference (per-message predictors instead of the "
+            "vectorized trace pipeline) and speculation points accept "
+            "--set engine=reference (heapq timing engine instead of "
+            "the calendar queue).  Both pairs are bit-identical; see "
+            "docs/performance.md."
         ),
     )
     parser.add_argument(

@@ -75,14 +75,21 @@ def run_speculation(
     iterations: int | None = None,
     seed: int | str = 1999,
     config: SystemConfig | None = None,
+    engine: str = "fast",
 ) -> SpeculationRun:
-    """Run one application on all three machine variants."""
+    """Run one application on all three machine variants.
+
+    ``engine`` selects the timing engine (``"fast"`` calendar queue,
+    ``"reference"`` heapq baseline).  Both are bit-identical per the
+    golden equivalence suite, so results — and cached sweep entries —
+    are valid whichever engine computed them.
+    """
     app = make_app(app_name, num_procs=num_procs, iterations=iterations, seed=seed)
     workload = app.build()
     cfg = config or SystemConfig(num_nodes=num_procs)
     results = {}
     for mode in PAPER_MODES:
-        machine = Machine(workload, config=cfg, mode=mode)
+        machine = Machine(workload, config=cfg, mode=mode, engine=engine)
         results[mode] = machine.run()
     return SpeculationRun(
         app=app_name,

@@ -157,8 +157,12 @@ def run_speculation_point(params: dict[str, Any]) -> dict[str, Any]:
     """Run one app on Base/FR/SWI timing simulators (Figure 9, Table 5).
 
     Parameters: ``app`` (required), ``iterations``, ``num_procs``,
-    ``seed``, and optional ``config`` overrides applied on top of the
-    default :class:`~repro.common.config.SystemConfig`.
+    ``seed``, optional ``config`` overrides applied on top of the
+    default :class:`~repro.common.config.SystemConfig`, and an optional
+    ``engine`` (``"fast"`` | ``"reference"``) timing-engine override.
+    The engines are bit-identical (golden equivalence suite), so
+    ``engine`` is deliberately absent from default points and cached
+    entries stay valid whichever engine computed them.
     """
     from repro.common.config import SystemConfig
     from repro.eval.performance import PAPER_MODES, run_speculation
@@ -174,6 +178,7 @@ def run_speculation_point(params: dict[str, Any]) -> dict[str, Any]:
         iterations=params.get("iterations"),
         seed=params.get("seed", 1999),
         config=SystemConfig(**overrides),
+        engine=params.get("engine", "fast"),
     )
     modes: dict[str, Any] = {}
     for mode in PAPER_MODES:

@@ -55,6 +55,32 @@ class Vmsp(DirectoryPredictor):
         self.stats.record(outcome)
         return outcome
 
+    def observe_request(
+        self, kind: MessageKind, node: NodeId, block: BlockId
+    ) -> Outcome:
+        """Observe a request without boxing it into a :class:`Message`.
+
+        The fast timing engine's speculation path: one call per
+        directory transaction, no per-message dataclass, no throwaway
+        set allocations.  The outcome, learning, and statistics are
+        bit-identical to feeding the equivalent request through
+        :meth:`observe` (the reference engines keep doing exactly
+        that); the golden equivalence suite gates the two against each
+        other.
+        """
+        if kind is MessageKind.READ:
+            history = self._history.get(block, ())
+            run = self._runs.get(block)
+            if run is None:
+                run = self._runs[block] = set()
+            outcome = self._score_read(block, history, run, node)
+            run.add(node)
+        else:
+            self._close_run(block)
+            outcome = self._observe_token(block, (kind, node))
+        self.stats.record(outcome)
+        return outcome
+
     # ------------------------------------------------------------------
     # reads: scored against the currently predicted vector
     # ------------------------------------------------------------------
@@ -129,6 +155,14 @@ class Vmsp(DirectoryPredictor):
     def open_run(self, block: BlockId) -> frozenset[NodeId]:
         """Readers observed since the last write (the open sequence)."""
         return frozenset(self._runs.get(block, set()))
+
+    def has_open_run(self, block: BlockId) -> bool:
+        """Whether any reader has been observed since the last write.
+
+        The allocation-free truthiness probe of :meth:`open_run`, for
+        the fast timing engine's first-of-run test.
+        """
+        return bool(self._runs.get(block))
 
     def observe_speculative_read(self, block: BlockId, node: NodeId) -> None:
         """Record a speculatively *performed* read without scoring it.

@@ -1,4 +1,10 @@
-"""Discrete-event queue for the timing simulator."""
+"""Discrete-event queue for the timing simulator (reference engine).
+
+This heapq implementation is the trusted semantic baseline the
+calendar-queue engine (:mod:`repro.sim.fastevents`) is gated against:
+``Machine(engine="reference")`` runs on it unchanged, and the golden
+equivalence suite asserts bit-identical results between the two.
+"""
 
 from __future__ import annotations
 
@@ -30,6 +36,38 @@ class EventQueue:
         heapq.heappush(self._heap, (time, self._sequence, fn))
         self._sequence += 1
 
+    # ------------------------------------------------------------------
+    # (handler, args) scheduling — the reference implementation
+    # ------------------------------------------------------------------
+    def call(self, delay: int, handler: Callable, *args) -> None:
+        """Schedule ``handler(*args)`` after ``delay`` cycles.
+
+        This is the reference realization of the fast engine's
+        low-allocation event representation: with arguments it wraps
+        the call in a fresh closure (the reference engine's historical
+        per-event cost profile); without arguments it degrades to a
+        plain :meth:`schedule`, exactly as the pre-switch call sites
+        behaved.  Execution order is identical either way.
+        """
+        if args:
+            self.schedule(delay, lambda: handler(*args))
+        else:
+            self.schedule(delay, handler)
+
+    def call_at(self, time: int, handler: Callable, *args) -> None:
+        """Schedule ``handler(*args)`` at absolute cycle ``time``."""
+        if args:
+            self.at(time, lambda: handler(*args))
+        else:
+            self.at(time, handler)
+
+    def insert(self, time: int, handler: Callable, args: tuple) -> None:
+        """Packed-arguments insert (see the calendar queue's variant)."""
+        if args:
+            self.at(time, lambda: handler(*args))
+        else:
+            self.at(time, handler)
+
     def run(self, max_events: int | None = None) -> int:
         """Drain the queue; returns the number of events processed.
 
@@ -41,6 +79,25 @@ class EventQueue:
             raise ValueError("max_events must be >= 0")
         processed = 0
         while self._heap and (max_events is None or processed < max_events):
+            time, _seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            processed += 1
+        return processed
+
+    def run_cycle(self) -> int:
+        """Process every event of the next pending cycle.
+
+        The same-cycle batch-drain primitive: drains the earliest
+        scheduled cycle completely — including events scheduled *onto*
+        that cycle while it drains — and returns the number processed
+        (0 when the queue is empty).
+        """
+        if not self._heap:
+            return 0
+        cycle = self._heap[0][0]
+        processed = 0
+        while self._heap and self._heap[0][0] == cycle:
             time, _seq, fn = heapq.heappop(self._heap)
             self.now = time
             fn()

@@ -1,0 +1,221 @@
+"""Calendar-queue timing engine: the fast event queue.
+
+:class:`~repro.sim.events.EventQueue` — the reference engine — pays a
+heap push, a heap pop, and (at most call sites) a fresh closure for
+every simulated event.  Profiling the Figure 9 / Table 5 sweeps shows
+events *cluster*: a 16-node run schedules 1.5–3 events per distinct
+cycle (barrier releases, lock-step compute phases, NI-serialized
+deliveries), and the hot handlers are tiny, so queue mechanics and
+allocation are a large slice of wall time.
+
+:class:`CalendarEventQueue` is a calendar (bucket) queue keyed by
+cycle:
+
+* each pending cycle owns one FIFO bucket (a plain list, appended in
+  insertion order), so a schedule is an ``O(1)`` list append instead of
+  an ``O(log n)`` heap push;
+* a small int heap orders only the *distinct* pending cycles (one heap
+  entry per bucket, not per event);
+* :meth:`run` drains a whole bucket per heap pop — the same-cycle
+  batch-drain mode — and events append to the live bucket when they
+  schedule work for the current cycle;
+* events are ``(handler, args)`` tuples, not closures: the hottest
+  paths (interconnect delivery, processor resume, home request
+  servicing) schedule a prebound method plus its arguments via
+  :meth:`call` / :meth:`call_at` and never allocate a closure or cell
+  object per event.
+
+The contract with the reference engine is exact: ``schedule`` / ``at``
+/ ``call`` / ``call_at`` / ``run(max_events)`` / ``run_cycle`` /
+``peek_time`` / ``now`` / ``len`` behave bit-for-bit identically —
+ties break by insertion order, ``now`` advances per event, a zero
+budget is a no-op, and the error messages match.  The golden suite
+(``tests/sim/test_engine_equivalence.py``) and the Hypothesis
+interleaving replay (``tests/sim/test_events_property.py``) enforce
+it; ``make_event_queue`` is the engine switch the
+:class:`~repro.sim.machine.Machine` exposes.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Union
+
+from repro.sim.events import EventQueue
+
+#: The timing engines :class:`~repro.sim.machine.Machine` accepts.
+ENGINES = ("fast", "reference")
+
+#: Either timing queue; components accept both interchangeably.
+TimingQueue = Union[EventQueue, "CalendarEventQueue"]
+
+
+def make_event_queue(engine: str = "fast") -> TimingQueue:
+    """Build the event queue for one simulated machine.
+
+    ``"fast"`` is the calendar queue below; ``"reference"`` is the
+    original heapq :class:`~repro.sim.events.EventQueue`, kept as the
+    trusted semantic baseline (mirroring the accuracy pipeline's
+    ``engine="vectorized"|"reference"`` switch).
+    """
+    if engine == "fast":
+        return CalendarEventQueue()
+    if engine == "reference":
+        return EventQueue()
+    raise ValueError(
+        f"unknown timing engine {engine!r} (known: {', '.join(ENGINES)})"
+    )
+
+
+class CalendarEventQueue:
+    """Bucket-per-cycle event queue with FIFO tie order.
+
+    Invariant: every bucket in ``_buckets`` is non-empty, and the
+    ``_times`` heap holds exactly one entry per bucket (pushed when the
+    bucket is created, popped when it is deleted) — so ``_times[0]`` is
+    always the next cycle with pending work and no lazy-deletion sweep
+    is ever needed.
+    """
+
+    __slots__ = ("now", "_buckets", "_times", "_size")
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._buckets: dict[int, list[tuple[Callable, tuple]]] = {}
+        self._times: list[int] = []
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call(self, delay: int, handler: Callable, *args) -> None:
+        """Schedule ``handler(*args)`` after ``delay`` cycles."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(handler, args)]
+            heappush(self._times, time)
+        else:
+            bucket.append((handler, args))
+        self._size += 1
+
+    def call_at(self, time: int, handler: Callable, *args) -> None:
+        """Schedule ``handler(*args)`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(handler, args)]
+            heappush(self._times, time)
+        else:
+            bucket.append((handler, args))
+        self._size += 1
+
+    def insert(self, time: int, handler: Callable, args: tuple) -> None:
+        """Packed-arguments insert: ``args`` is passed as a tuple.
+
+        The forwarding-hot-path variant of :meth:`call_at`: a caller
+        that already holds an argument tuple (``*args`` forwarding,
+        e.g. :meth:`Interconnect.send_call`) avoids re-splatting it
+        into a second tuple.
+        """
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(handler, args)]
+            heappush(self._times, time)
+        else:
+            bucket.append((handler, args))
+        self._size += 1
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        self.call(delay, fn)
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        self.call_at(time, fn)
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        Same semantics as the reference engine: the budget is checked
+        before each event, so ``run(max_events=0)`` is a pure no-op,
+        and a budget exhausted mid-bucket leaves the bucket's remaining
+        events (and their FIFO order) intact.
+        """
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be >= 0")
+        processed = 0
+        buckets = self._buckets
+        times = self._times
+        while times and (max_events is None or processed < max_events):
+            time = times[0]
+            bucket = buckets[time]
+            self.now = time
+            i = 0
+            try:
+                if max_events is None:
+                    # Batch drain: one heap pop retires the whole
+                    # cycle.  A ``for`` over the live list iterates at
+                    # C speed *and* picks up same-cycle events that
+                    # handlers append while the bucket drains.
+                    for handler, args in bucket:
+                        i += 1
+                        handler(*args)
+                else:
+                    limit = max_events - processed
+                    while i < len(bucket) and i < limit:
+                        handler, args = bucket[i]
+                        i += 1
+                        handler(*args)
+            finally:
+                self._size -= i
+                if i >= len(bucket):
+                    del buckets[time]
+                    heappop(times)
+                elif i:
+                    del bucket[:i]
+                processed += i
+        return processed
+
+    def run_cycle(self) -> int:
+        """Batch-drain every event of the next pending cycle.
+
+        Includes events scheduled *onto* that cycle while it drains;
+        returns the number processed (0 when the queue is empty).
+        """
+        if not self._times:
+            return 0
+        time = self._times[0]
+        bucket = self._buckets[time]
+        self.now = time
+        i = 0
+        try:
+            for handler, args in bucket:
+                i += 1
+                handler(*args)
+        finally:
+            self._size -= i
+            if i >= len(bucket):
+                del self._buckets[time]
+                heappop(self._times)
+            elif i:
+                del bucket[:i]
+        return i
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def peek_time(self) -> int | None:
+        """Scheduled time of the next event, or None when empty."""
+        if not self._times:
+            return None
+        return self._times[0]
+
+    def __len__(self) -> int:
+        return self._size

@@ -19,11 +19,20 @@ from repro.common.types import BlockId, MessageKind, NodeId
 from repro.network.interconnect import Interconnect
 from repro.sim.address import home_of
 from repro.sim.caches import ProcessorCache, RemoteCache
-from repro.sim.events import EventQueue
-from repro.sim.home import HomeDirectory, MemRequest
-from repro.sim.processor import Processor
+from repro.sim.fastevents import make_event_queue
+from repro.sim.home import FastHomeDirectory, HomeDirectory, MemRequest
+from repro.sim.processor import FastProcessor, Processor
 from repro.sim.sync import BarrierManager, LockManager
 from repro.speculation.engine import SpeculationEngine, SpeculationStats
+
+
+class EventBudgetExhausted(RuntimeError):
+    """A bounded :meth:`Machine.run` ran out of its event budget.
+
+    Distinct from the deadlock diagnosis: events were still pending
+    when ``max_events`` ran out, so the simulation is merely unfinished
+    — re-run with a larger budget.
+    """
 
 
 class MachineMode(enum.Enum):
@@ -86,7 +95,21 @@ class Machine:
         config: SystemConfig | None = None,
         mode: MachineMode = MachineMode.BASE,
         spec_depth: int = 1,
+        engine: str = "fast",
     ) -> None:
+        """``engine`` selects the timing engine (see docs/performance.md):
+
+        * ``"fast"`` (default) — the calendar event queue plus the
+          low-allocation component subclasses;
+        * ``"reference"`` — the original heapq queue and closure-based
+          components, kept as the trusted baseline.
+
+        Both produce bit-identical :class:`RunResult`\\ s (the golden
+        equivalence suite gates this), so the engine choice never needs
+        to appear in experiment cache keys.
+        """
+        # make_event_queue validates `engine` (raising before any
+        # component is built), so no separate check is needed here.
         self.config = config or SystemConfig()
         if workload.num_procs != self.config.num_nodes:
             raise ValueError(
@@ -95,14 +118,24 @@ class Machine:
             )
         self.workload = workload
         self.mode = mode
-        self.events = EventQueue()
+        self.engine = engine
+        self._fast = engine == "fast"
+        self._swi_hints = mode in (MachineMode.SWI, MachineMode.MIG)
+        home_cls = FastHomeDirectory if self._fast else HomeDirectory
+        proc_cls = FastProcessor if self._fast else Processor
+        self.events = make_event_queue(engine)
         self.net = Interconnect(self.config, self.events)
         self.barrier = BarrierManager(self.config.num_nodes, self.config, self.events)
         self.locks = LockManager(self.config, self.events)
         self.stats = StatSet()
         self._request_blocks: dict[str, set[BlockId]] = {}
+        #: Per-kind (stat key, distinct-block set) pairs so the
+        #: per-request accounting neither formats a key string nor
+        #: re-resolves the block set on every request.
+        self._req_count_cache: dict[str, tuple[str, set[BlockId]]] = {}
         self._last_write: dict[NodeId, BlockId] = {}
-        self._homes = [HomeDirectory(n, self) for n in range(self.config.num_nodes)]
+        # Engines and nodes are built before homes so the fast home
+        # directories can cache direct references to both.
         self._engines: list[SpeculationEngine] | None = None
         if mode is not MachineMode.BASE:
             self._engines = [
@@ -111,6 +144,7 @@ class Machine:
                     swi_enabled=mode in (MachineMode.SWI, MachineMode.MIG),
                     depth=spec_depth,
                     migratory_enabled=(mode is MachineMode.MIG),
+                    fast_path=self._fast,
                 )
                 for n in range(self.config.num_nodes)
             ]
@@ -118,10 +152,15 @@ class Machine:
             NodeContext(
                 cache=ProcessorCache(),
                 remote_cache=RemoteCache(),
-                processor=Processor(n, self, workload.phases),
+                processor=proc_cls(n, self, workload.phases),
             )
             for n in range(self.config.num_nodes)
         ]
+        self._homes = [home_cls(n, self) for n in range(self.config.num_nodes)]
+        #: Prebound per-home request handlers for the fast processors
+        #: (one bound method for the life of the run, not one per
+        #: memory request).
+        self._home_request = [h.request for h in self._homes]
 
     # ------------------------------------------------------------------
     # component access (used by homes and processors)
@@ -152,6 +191,21 @@ class Machine:
         self.stats.bump(f"req_{kind.value}")
         self._request_blocks.setdefault(kind.value, set()).add(block)
 
+    def count_request_fast(self, kind: MessageKind | None, block: BlockId) -> None:
+        """The fast engine's :meth:`count_request`: same counters, no
+        per-request key formatting or block-set re-resolution."""
+        if kind is None:
+            return
+        value = kind.value
+        cached = self._req_count_cache.get(value)
+        if cached is None:
+            cached = self._req_count_cache[value] = (
+                f"req_{value}",
+                self._request_blocks.setdefault(value, set()),
+            )
+        self.stats.bump(cached[0])
+        cached[1].add(block)
+
     def note_store_hit(self, pid: NodeId, block: BlockId) -> None:
         """A store hit an exclusively held copy (migratory accounting).
 
@@ -179,27 +233,45 @@ class Machine:
         """
         previous = self._last_write.get(pid)
         self._last_write[pid] = block
-        if self.mode not in (MachineMode.SWI, MachineMode.MIG):
+        if not self._swi_hints:
             return
         if previous is None or previous == block:
             return
         home = self.home_of(previous)
         hint = MemRequest(kind="swi-recall", block=previous, requester=pid)
-        self.net.send(pid, home, lambda: self._homes[home].request(hint))
+        if self._fast:
+            self.net.send_call(pid, home, self._home_request[home], hint)
+        else:
+            self.net.send(pid, home, lambda: self._homes[home].request(hint))
 
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> RunResult:
-        """Execute the workload to completion and collect results."""
+        """Execute the workload to completion and collect results.
+
+        A bounded run that exhausts ``max_events`` with events still
+        pending raises :class:`EventBudgetExhausted`; an empty queue
+        with unfinished processors is a genuine deadlock and raises a
+        plain ``RuntimeError``.
+        """
         for context in self._nodes:
             context.processor.start()
-        self.events.run(max_events=max_events)
+        processed = self.events.run(max_events=max_events)
         unfinished = [
             c.processor.pid for c in self._nodes if c.processor.finish_time is None
         ]
         if unfinished:
+            if len(self.events):
+                # run() only stops with events pending when the budget
+                # ran out — the simulation is unfinished, not stuck.
+                raise EventBudgetExhausted(
+                    f"event budget exhausted after {processed} events: "
+                    f"processors {unfinished} still running, "
+                    f"{len(self.events)} events pending "
+                    f"(re-run with a larger max_events)"
+                )
             raise RuntimeError(
                 f"simulation ended with stuck processors: {unfinished} "
-                f"(deadlock or max_events too small)"
+                f"(deadlock: the event queue drained with work unfinished)"
             )
         return self._collect()
 

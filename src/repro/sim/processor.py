@@ -14,15 +14,17 @@ three buckets:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING
 
 from repro.apps.base import Compute, LockAcquire, LockRelease, MemRead, MemWrite, Phase
+from repro.common.config import HOME_SHIFT
 from repro.common.types import BlockId, NodeId
 from repro.sim.caches import CacheState
 from repro.sim.home import MemRequest
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.machine import Machine
+    from repro.sim.machine import Machine, NodeContext
 
 
 class Processor:
@@ -158,3 +160,173 @@ class Processor:
             self._step()
 
         self._m.locks.acquire(lock, self.pid, granted)
+
+
+class FastProcessor(Processor):
+    """The fast engine's processor: no per-resume closures.
+
+    Every stall-attributed wait of the reference processor (request
+    retirement, speculative fill, barrier release, lock grant) builds a
+    closure capturing the start cycle; this subclass passes a prebound
+    resume method plus the start cycle as ``(handler, args)`` events
+    instead.  Its hottest continuations additionally inline the
+    calendar queue's bucket insert and reach directly into the node's
+    cache dictionaries (``ProcessorCache._state`` /
+    ``RemoteCache._entries``) — friend access that trades abstraction
+    for the per-op call frames.  The scheduling sequence and every
+    state mutation are identical to the reference processor's, so
+    execution and the stall/sync accounting match bit-for-bit (gated
+    by tests/sim/test_engine_equivalence.py).
+    """
+
+    def __init__(self, pid: NodeId, machine: "Machine", phases: list[Phase]) -> None:
+        super().__init__(pid, machine, phases)
+        # Prebound per-event handlers (an attribute fetch allocates
+        # nothing; ``self._method`` builds a bound method per event)
+        # plus flat copies of the per-event ``self._m...`` chases.
+        self._step_fn = self._step
+        self._spec_fill_done_fn = self._spec_fill_done
+        self._request_done_fn = self._request_done
+        self._barrier_released_fn = self._barrier_released
+        self._lock_granted_fn = self._lock_granted
+        self._ev = machine.events  # always the calendar queue when fast
+        self._ev_call = machine.events.call
+        self._send_call = machine.net.send_call
+        self._stats_bump = machine.stats.bump
+        self._cache_hit_cycles = machine.config.cache_hit_cycles
+        self._local_access = machine.config.local_access_cycles
+        self._num_nodes = machine.config.num_nodes
+        self._engines = machine._engines
+        # Bound in start(): machine._nodes / _home_request are built
+        # after the processors themselves.
+        self._node: "NodeContext | None" = None
+        self._home_request: list | None = None
+        self._cstate: dict | None = None
+        self._rentries: dict | None = None
+        # One reusable request object: the processor blocks on a single
+        # outstanding request at a time, and nothing holds the object
+        # past reply delivery (events capture the prebound on_done, not
+        # the request), so each issue may recycle it in place.
+        self._request = MemRequest(
+            kind="read", block=0, requester=pid, on_done=self._request_done_fn
+        )
+
+    def start(self) -> None:
+        self._node = self._m.node(self.pid)
+        self._home_request = self._m._home_request
+        self._cstate = self._node.cache._state
+        self._rentries = self._node.remote_cache._entries
+        super().start()
+
+    def _sched_step(self, delay: int) -> None:
+        """Inlined calendar insert of the prebound step continuation."""
+        queue = self._ev
+        time = queue.now + delay
+        buckets = queue._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(self._step_fn, ())]
+            heappush(queue._times, time)
+        else:
+            bucket.append((self._step_fn, ()))
+        queue._size += 1
+
+    def _step(self) -> None:
+        if self._op_index >= len(self._ops):
+            self._barrier()
+            return
+        op = self._ops[self._op_index]
+        self._op_index += 1
+        if isinstance(op, Compute):
+            self._sched_step(op.cycles)
+        elif isinstance(op, MemRead):
+            self._load(op.block)
+        elif isinstance(op, MemWrite):
+            self._store(op.block)
+        elif isinstance(op, LockAcquire):
+            self._acquire(op.lock)
+        elif isinstance(op, LockRelease):
+            self._m.locks.release(op.lock, self.pid)
+            self._sched_step(0)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+    def _load(self, block: BlockId) -> None:
+        if self._cstate.get(block) is not None:  # can_read, inlined
+            self._stats_bump("cache_hits")
+            self._sched_step(self._cache_hit_cycles)
+            return
+        spec = self._rentries.pop(block, None)  # consume, inlined
+        if spec is not None:
+            spec.referenced = True
+            # Speculative hit: a pushed read-only copy is waiting in the
+            # remote cache; referencing it verifies the speculation.
+            self._stats_bump(f"spec_hits_{spec.origin}")
+            engines = self._engines
+            if engines is not None:
+                engines[(block >> HOME_SHIFT) % self._num_nodes].spec_feedback(
+                    block, self.pid, used=True
+                )
+            self._cstate[block] = CacheState.SHARED
+            self._ev_call(
+                self._local_access, self._spec_fill_done_fn, self._ev.now
+            )
+            return
+        self._issue("read", block)
+
+    def _spec_fill_done(self, started: int) -> None:
+        self.stall_cycles += self._ev.now - started
+        self._step()
+
+    def _store(self, block: BlockId) -> None:
+        if self._cstate.get(block) is CacheState.EXCLUSIVE:  # can_write
+            self._stats_bump("cache_hits")
+            self._m.note_store_hit(self.pid, block)
+            self._sched_step(self._cache_hit_cycles)
+            return
+        self._issue("write", block)
+
+    def _issue(self, kind: str, block: BlockId) -> None:
+        started = self._ev.now
+        self._outstanding = block
+        if kind == "write":
+            self._m.note_write_issued(self.pid, block)
+        request = self._request
+        request.kind = kind
+        request.block = block
+        request.on_done_args = (block, started)
+        home = (block >> HOME_SHIFT) % self._num_nodes
+        self._send_call(self.pid, home, self._home_request[home], request)
+
+    def _request_done(self, block: BlockId, started: int) -> None:
+        self._outstanding = None
+        # A granted copy supersedes any stale speculative copy.
+        stale = self._rentries.pop(block, None)  # evict, inlined
+        if stale is not None and not stale.referenced:
+            engines = self._engines
+            if engines is not None:
+                engines[(block >> HOME_SHIFT) % self._num_nodes].spec_feedback(
+                    block, self.pid, used=False, raced=True
+                )
+        self.stall_cycles += self._ev.now - started
+        self._step()
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def _barrier(self) -> None:
+        self._m.barrier.arrive(self.pid, self._barrier_released_fn, self._ev.now)
+
+    def _barrier_released(self, started: int) -> None:
+        self.sync_cycles += self._ev.now - started
+        self._next_phase()
+
+    def _acquire(self, lock: int) -> None:
+        self._m.locks.acquire(lock, self.pid, self._lock_granted_fn, self._ev.now)
+
+    def _lock_granted(self, started: int) -> None:
+        self.sync_cycles += self._ev.now - started
+        self._step()

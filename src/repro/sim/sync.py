@@ -4,57 +4,68 @@ Barriers and locks are modeled directly (not through shared-memory
 spinning) — the paper folds barrier and lock waiting into computation
 time in its Figure 9 breakdown, so only the *duration* of waiting
 matters, not its memory traffic.
+
+Both managers accept resume callbacks in the timing engines' low
+allocation ``(handler, *args)`` form: the fast engine's processors
+pass a prebound method plus its arguments, the reference engine's
+processors pass a zero-argument closure — either way the wakeup is
+scheduled through :meth:`EventQueue.call`, which preserves FIFO
+release order on both engines.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import SystemConfig
 from repro.common.types import NodeId
-from repro.sim.events import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.fastevents import TimingQueue
 
 
 class BarrierManager:
     """A single global sense-reversing barrier."""
 
     def __init__(
-        self, num_procs: int, config: SystemConfig, events: EventQueue
+        self, num_procs: int, config: SystemConfig, events: "TimingQueue"
     ) -> None:
         self._num_procs = num_procs
         self._config = config
         self._events = events
-        self._waiting: list[Callable[[], None]] = []
+        self._waiting: list[tuple[Callable, tuple]] = []
 
-    def arrive(self, proc: NodeId, resume: Callable[[], None]) -> None:
+    def arrive(self, proc: NodeId, resume: Callable, *args) -> None:
         """Block ``proc``; release everyone once all have arrived."""
         del proc
-        self._waiting.append(resume)
+        self._waiting.append((resume, args))
         if len(self._waiting) < self._num_procs:
             return
         waiters, self._waiting = self._waiting, []
-        for resume_fn in waiters:
-            self._events.schedule(self._config.barrier_release_cycles, resume_fn)
+        for resume_fn, resume_args in waiters:
+            self._events.call(
+                self._config.barrier_release_cycles, resume_fn, *resume_args
+            )
 
 
 class LockManager:
     """FIFO spin locks, granted in request-arrival order."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue) -> None:
+    def __init__(self, config: SystemConfig, events: "TimingQueue") -> None:
         self._config = config
         self._events = events
         self._holder: dict[int, NodeId] = {}
-        self._queues: dict[int, deque[tuple[NodeId, Callable[[], None]]]] = {}
+        self._queues: dict[int, deque[tuple[NodeId, Callable, tuple]]] = {}
 
     def acquire(
-        self, lock: int, proc: NodeId, granted: Callable[[], None]
+        self, lock: int, proc: NodeId, granted: Callable, *args
     ) -> None:
         if lock not in self._holder:
             self._holder[lock] = proc
-            self._events.schedule(self._config.lock_acquire_cycles, granted)
+            self._events.call(self._config.lock_acquire_cycles, granted, *args)
             return
-        self._queues.setdefault(lock, deque()).append((proc, granted))
+        self._queues.setdefault(lock, deque()).append((proc, granted, args))
 
     def release(self, lock: int, proc: NodeId) -> None:
         holder = self._holder.get(lock)
@@ -64,9 +75,9 @@ class LockManager:
             )
         queue = self._queues.get(lock)
         if queue:
-            next_proc, granted = queue.popleft()
+            next_proc, granted, args = queue.popleft()
             self._holder[lock] = next_proc
-            self._events.schedule(self._config.lock_acquire_cycles, granted)
+            self._events.call(self._config.lock_acquire_cycles, granted, *args)
         else:
             del self._holder[lock]
 

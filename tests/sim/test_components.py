@@ -9,6 +9,7 @@ from repro.network.interconnect import Interconnect
 from repro.sim.address import AddressSpace, home_of
 from repro.sim.caches import CacheState, ProcessorCache, RemoteCache
 from repro.sim.events import EventQueue
+from repro.sim.fastevents import CalendarEventQueue
 from repro.sim.sync import BarrierManager, LockManager
 
 
@@ -147,6 +148,29 @@ class TestInterconnect:
         net.send(0, 2, lambda: seen.append(events.now))
         events.run()
         assert seen[0] == seen[1]
+
+    @pytest.mark.parametrize("make_queue", [EventQueue, CalendarEventQueue])
+    def test_send_call_matches_send_on_both_queues(self, make_queue):
+        """The packed-args delivery path models identical latencies,
+        NI contention, and ordering — whichever queue backs the net."""
+        config = SystemConfig()
+        closure_events = make_queue()
+        closure_net = Interconnect(config, closure_events)
+        packed_events = make_queue()
+        packed_net = Interconnect(config, packed_events)
+        closure_seen, packed_seen = [], []
+
+        closure_net.send(3, 3, lambda: closure_seen.append(("local", closure_events.now)))
+        closure_net.send(0, 1, lambda: closure_seen.append(("a", closure_events.now)))
+        closure_net.send(2, 1, lambda: closure_seen.append(("b", closure_events.now)))
+        packed_net.send_call(3, 3, lambda tag: packed_seen.append((tag, packed_events.now)), "local")
+        packed_net.send_call(0, 1, lambda tag: packed_seen.append((tag, packed_events.now)), "a")
+        packed_net.send_call(2, 1, lambda tag: packed_seen.append((tag, packed_events.now)), "b")
+
+        closure_events.run()
+        packed_events.run()
+        assert packed_seen == closure_seen
+        assert packed_net.messages_sent == closure_net.messages_sent == 2
 
 
 class TestBarrier:

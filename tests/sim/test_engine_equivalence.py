@@ -1,0 +1,93 @@
+"""Golden equivalence suite: fast timing engine vs reference engine.
+
+The calendar-queue engine (``Machine(engine="fast")``) is allowed to
+replace the heapq reference only because it is provably the same
+simulation.  This suite runs **all 7 applications × all 4 machine
+modes** on both engines at reduced iterations and asserts the entire
+:class:`~repro.sim.machine.RunResult` — cycles, the time breakdown,
+request counters, and every speculation statistic — is bit-identical,
+plus a repeat-run determinism check at a fixed seed.
+
+Timing results feed Figure 9 and Table 5 directly, so any divergence
+here would silently corrupt paper figures; that is why this suite is
+part of the quick CI lane, not an optional extra.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.registry import APP_NAMES, make_app
+from repro.common.config import SystemConfig
+from repro.sim.machine import Machine, MachineMode, RunResult
+
+#: Small but non-trivial workloads: every app still exercises barriers,
+#: locks (where present), write-invalidation chains, and speculation.
+ITERATIONS = 2
+NUM_PROCS = 16
+SEED = 1999
+
+_WORKLOADS: dict[str, object] = {}
+
+
+def workload_for(app: str):
+    """Build each app's workload once for the whole module."""
+    if app not in _WORKLOADS:
+        _WORKLOADS[app] = make_app(
+            app, num_procs=NUM_PROCS, iterations=ITERATIONS, seed=SEED
+        ).build()
+    return _WORKLOADS[app]
+
+
+def run_once(app: str, mode: MachineMode, engine: str) -> RunResult:
+    machine = Machine(
+        workload_for(app),
+        config=SystemConfig(num_nodes=NUM_PROCS),
+        mode=mode,
+        engine=engine,
+    )
+    return machine.run()
+
+
+def assert_identical(fast: RunResult, reference: RunResult) -> None:
+    """Field-by-field comparison so a failure names the divergent stat."""
+    fast_dict = dataclasses.asdict(fast)
+    ref_dict = dataclasses.asdict(reference)
+    for name, ref_value in ref_dict.items():
+        assert fast_dict[name] == ref_value, (
+            f"RunResult.{name} diverged: fast={fast_dict[name]!r} "
+            f"reference={ref_value!r}"
+        )
+    assert fast == reference  # belt and braces: dataclass equality
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+@pytest.mark.parametrize(
+    "mode", list(MachineMode), ids=[m.value for m in MachineMode]
+)
+class TestEngineEquivalence:
+    def test_run_result_bit_identical(self, app, mode):
+        fast = run_once(app, mode, "fast")
+        reference = run_once(app, mode, "reference")
+        assert_identical(fast, reference)
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_repeat_run_determinism(engine):
+    """The same seed must reproduce the same RunResult, twice over."""
+    first = run_once("em3d", MachineMode.SWI, engine)
+    second = run_once("em3d", MachineMode.SWI, engine)
+    assert_identical(first, second)
+
+
+def test_run_speculation_engine_equivalence():
+    """The eval-layer entry point threads the switch through intact."""
+    from repro.eval.performance import run_speculation
+
+    fast = run_speculation("tomcatv", iterations=ITERATIONS, engine="fast")
+    reference = run_speculation(
+        "tomcatv", iterations=ITERATIONS, engine="reference"
+    )
+    for mode in (MachineMode.BASE, MachineMode.FR, MachineMode.SWI):
+        assert_identical(fast.result(mode), reference.result(mode))
+    assert fast.table5_row() == reference.table5_row()

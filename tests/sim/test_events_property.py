@@ -1,0 +1,205 @@
+"""Property test: the calendar queue replays any program identically.
+
+Hypothesis generates arbitrary interleavings of the full queue API —
+``schedule`` / ``at`` / ``call`` (with arguments) / ``run(max_events)``
+/ ``run_cycle`` / ``peek_time`` / ``len`` — including same-cycle ties
+and events that schedule more events when they fire.  Each program is
+interpreted simultaneously against the heapq reference
+:class:`~repro.sim.events.EventQueue` and the calendar
+:class:`~repro.sim.fastevents.CalendarEventQueue`; after every
+operation the two must agree on
+
+* the execution log (which event fired, in what order, at what time),
+* every return value (events processed, peeked time, length),
+* the clock ``now``.
+
+This is the microscopic half of the equivalence story: the golden
+suite (test_engine_equivalence.py) checks whole simulations; this
+checks the queue contract itself, so a future queue change cannot hide
+behind workloads that happen not to exercise an ordering corner.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sim.fastevents import CalendarEventQueue, make_event_queue
+from tests.strategies import STANDARD_SETTINGS
+
+pytestmark = pytest.mark.property
+
+
+# ----------------------------------------------------------------------
+# program strategy
+# ----------------------------------------------------------------------
+# An event spec is (delay, style, children): when the event fires it
+# logs itself and schedules its children relative to the firing time.
+# ``style`` picks which scheduling API plants it (closure vs packed
+# args), so both representations are exercised on both queues.
+
+DELAYS = st.integers(min_value=0, max_value=12)
+STYLES = st.sampled_from(["schedule", "at", "call"])
+
+EVENT_SPECS = st.recursive(
+    st.tuples(DELAYS, STYLES, st.just(())),
+    lambda children: st.tuples(
+        DELAYS, STYLES, st.lists(children, max_size=3).map(tuple)
+    ),
+    max_leaves=8,
+)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("plant"), EVENT_SPECS),
+        st.tuples(st.just("run"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("run_all"), st.just(None)),
+        st.tuples(st.just("run_cycle"), st.just(None)),
+        st.tuples(st.just("peek"), st.just(None)),
+    ),
+    max_size=30,
+)
+
+
+class Interpreter:
+    """Drives one queue through a program, recording everything."""
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+        self.log: list[tuple[int, int]] = []
+        self._next_id = 0
+
+    def plant(self, spec) -> None:
+        delay, style, children = spec
+        event_id = self._next_id
+        self._next_id += 1
+        queue = self.queue
+
+        def fire(eid=event_id, kids=children) -> None:
+            self.log.append((eid, queue.now))
+            for child in kids:
+                self.plant(child)
+
+        if style == "schedule":
+            queue.schedule(delay, fire)
+        elif style == "at":
+            queue.at(queue.now + delay, fire)
+        else:  # packed-args API
+            queue.call(delay, self._fire_packed, event_id, children)
+
+    def _fire_packed(self, event_id, children) -> None:
+        self.log.append((event_id, self.queue.now))
+        for child in children:
+            self.plant(child)
+
+    def snapshot(self):
+        return (tuple(self.log), self.queue.now, len(self.queue),
+                self.queue.peek_time())
+
+
+@given(program=OPERATIONS)
+@STANDARD_SETTINGS
+def test_calendar_queue_replays_heapq_reference(program):
+    reference = Interpreter(EventQueue())
+    calendar = Interpreter(CalendarEventQueue())
+
+    for op, arg in program:
+        for interp in (reference, calendar):
+            queue = interp.queue
+            if op == "plant":
+                interp.plant(arg)
+            elif op == "run":
+                interp.last = queue.run(max_events=arg)
+            elif op == "run_all":
+                interp.last = queue.run()
+            elif op == "run_cycle":
+                interp.last = queue.run_cycle()
+            else:
+                interp.last = queue.peek_time()
+        assert getattr(reference, "last", None) == getattr(calendar, "last", None)
+        assert reference.snapshot() == calendar.snapshot()
+
+    # Drain whatever remains: final order must match too.
+    assert reference.queue.run() == calendar.queue.run()
+    assert reference.snapshot() == calendar.snapshot()
+
+
+@given(program=OPERATIONS)
+@STANDARD_SETTINGS
+def test_zero_budget_is_noop_on_both_queues(program):
+    for factory in (EventQueue, CalendarEventQueue):
+        interp = Interpreter(factory())
+        for op, arg in program:
+            if op == "plant":
+                interp.plant(arg)
+        before = interp.snapshot()
+        assert interp.queue.run(max_events=0) == 0
+        assert interp.snapshot() == before
+
+
+def test_make_event_queue_dispatch():
+    assert isinstance(make_event_queue("fast"), CalendarEventQueue)
+    assert isinstance(make_event_queue("reference"), EventQueue)
+    with pytest.raises(ValueError, match="unknown timing engine"):
+        make_event_queue("turbo")
+
+
+class TestCalendarQueueEdges:
+    """Deterministic corners that deserve names of their own."""
+
+    def test_negative_delay_and_past_at_rejected(self):
+        queue = CalendarEventQueue()
+        with pytest.raises(ValueError, match="past"):
+            queue.schedule(-1, lambda: None)
+        queue.call(5, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError, match="past"):
+            queue.at(2, lambda: None)
+
+    def test_negative_budget_rejected(self):
+        queue = CalendarEventQueue()
+        with pytest.raises(ValueError, match="max_events"):
+            queue.run(max_events=-1)
+
+    def test_budget_stops_mid_bucket_preserving_fifo(self):
+        queue = CalendarEventQueue()
+        log = []
+        for tag in "abcd":
+            queue.schedule(3, lambda t=tag: log.append(t))
+        assert queue.run(max_events=2) == 2
+        assert log == ["a", "b"]
+        assert len(queue) == 2
+        assert queue.peek_time() == 3
+        assert queue.run() == 2
+        assert log == ["a", "b", "c", "d"]
+
+    def test_same_cycle_events_scheduled_while_draining_run_in_pass(self):
+        queue = CalendarEventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            queue.schedule(0, lambda: log.append("tail"))
+
+        queue.schedule(7, first)
+        queue.schedule(7, lambda: log.append("second"))
+        assert queue.run_cycle() == 3
+        assert log == ["first", "second", "tail"]
+        assert len(queue) == 0
+
+    def test_exception_mid_bucket_keeps_queue_consistent(self):
+        queue = CalendarEventQueue()
+        log = []
+        queue.schedule(1, lambda: log.append("ok"))
+        queue.schedule(1, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        queue.schedule(1, lambda: log.append("after"))
+        with pytest.raises(RuntimeError, match="boom"):
+            queue.run()
+        # The raising event was consumed; the remainder is intact.
+        assert log == ["ok"]
+        assert len(queue) == 1
+        assert queue.run() == 1
+        assert log == ["ok", "after"]

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.base import WorkloadBuilder
 from repro.common.config import SystemConfig
 from repro.sim.address import AddressSpace
-from repro.sim.machine import Machine, MachineMode
+from repro.sim.machine import EventBudgetExhausted, Machine, MachineMode
 
 
 def two_node_config():
@@ -130,17 +130,54 @@ class TestRunResult:
         assert result.speculation.fr_sent == 0
         assert result.speculation.wi_sent == 0
 
-    def test_stuck_simulation_detected(self):
+    def test_budget_exhaustion_detected(self):
+        """Regression: an exhausted event budget is not a deadlock.
+
+        A bounded run that stops with events still pending used to
+        raise the misleading "stuck processors (deadlock...)" error;
+        it must report budget exhaustion distinctly.
+        """
         workload, _ = simple_workload(iterations=10)
         machine = Machine(workload, config=two_node_config())
-        with pytest.raises(RuntimeError, match="stuck"):
+        with pytest.raises(EventBudgetExhausted, match="budget exhausted"):
             machine.run(max_events=3)
 
-    def test_stuck_simulation_error_names_unfinished_processors(self):
+    def test_budget_exhaustion_error_names_unfinished_processors(self):
         workload, _ = simple_workload(iterations=10)
         machine = Machine(workload, config=two_node_config())
-        with pytest.raises(RuntimeError, match=r"\[0, 1\].*max_events"):
+        with pytest.raises(EventBudgetExhausted, match=r"\[0, 1\].*max_events"):
             machine.run(max_events=1)
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_budget_exhaustion_per_engine(self, engine):
+        workload, _ = simple_workload(iterations=10)
+        machine = Machine(workload, config=two_node_config(), engine=engine)
+        with pytest.raises(EventBudgetExhausted):
+            machine.run(max_events=3)
+        assert len(machine.events) > 0  # events really were pending
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_genuine_deadlock_still_reported_as_stuck(self, engine):
+        """An empty queue with unfinished processors is a deadlock.
+
+        P0 takes the lock and never releases it; P1 blocks on the lock
+        forever while P0 waits at the barrier for P1.  The queue drains
+        with both processors unfinished — a deadlock, not a budget
+        problem.
+        """
+        builder = WorkloadBuilder("deadlock", 2)
+        with builder.phase("locked"):
+            builder.lock(0, 0)
+            builder.lock(1, 0)
+        workload = builder.finish()
+        machine = Machine(workload, config=two_node_config(), engine=engine)
+        with pytest.raises(RuntimeError, match="stuck processors.*deadlock"):
+            machine.run()
+
+    def test_unknown_engine_rejected(self):
+        workload, _ = simple_workload()
+        with pytest.raises(ValueError, match="unknown timing engine"):
+            Machine(workload, config=two_node_config(), engine="warp")
 
 
 class TestRequestCounters:
