@@ -180,8 +180,12 @@ def timing_gate() -> int:
         },
         "threshold": TIMING_THRESHOLD,
     }
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
-    print(f"  wrote {BENCH_PATH.name}")
+    record = json.dumps(bench, indent=2)
+    BENCH_PATH.write_text(record + "\n")
+    # Emit the record itself, so a local run and the CI log show the
+    # same committed benchmark claim without a separate `cat` step.
+    print(f"  wrote {BENCH_PATH.name}:")
+    print(record)
 
     if not identical:
         print("perf-smoke[timing]: FAIL — engines disagree on RunResult")

@@ -26,6 +26,15 @@ points on the calendar-queue timing engine by default; pass ``--set
 engine=reference`` to select the bit-identical reference engines
 (docs/performance.md).
 
+Several workers — processes or hosts — can divide one grid between
+them: point each at the same ``--cache-dir`` plus a shared
+``--claim-dir`` (canonically ``<cache-dir>/claims``) and every point
+is claimed before it is computed, so the grid is computed exactly once
+across the fleet (``--worker-id`` names each worker; stale claims of
+crashed workers are stolen after ``--claim-ttl``).  ``sweep --follow``
+tails a grid other workers are computing without computing anything
+itself.  See docs/harness.md.
+
 The ``serve`` subcommand exposes the same sweep points over HTTP —
 cached results answer instantly, misses are computed in a worker pool
 with request coalescing (see ``docs/service.md``)::
@@ -46,6 +55,10 @@ from typing import Any
 from repro.common.literals import parse_literal
 from repro.eval.reporting import RENDERERS, render
 from repro.harness import (
+    DEFAULT_CLAIM_TTL_S,
+    MISS,
+    ClaimBoard,
+    ClaimedRunner,
     ParallelRunner,
     ResultStore,
     SweepError,
@@ -93,9 +106,51 @@ def _add_harness_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="recompute every point and overwrite cached results",
     )
+    parser.add_argument(
+        "--claim-dir",
+        default=None,
+        metavar="DIR",
+        help="coordinate with other workers through claim files in DIR "
+        "(canonically <cache-dir>/claims): N processes or hosts pointed "
+        "at one shared --cache-dir divide a grid between them, each "
+        "point computed exactly once (see docs/harness.md)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="claim owner id for this worker (default: host:pid)",
+    )
+    parser.add_argument(
+        "--claim-ttl",
+        type=float,
+        default=DEFAULT_CLAIM_TTL_S,
+        metavar="SECONDS",
+        help="heartbeat silence before a crashed worker's claims are "
+        f"stolen (default {DEFAULT_CLAIM_TTL_S:.0f}s)",
+    )
 
 
-def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+def _validate_claim_options(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    """Reject claim-flag combinations that contradict the protocol."""
+    if args.claim_dir is None:
+        return
+    if args.no_cache:
+        parser.error("--claim-dir requires the result cache (drop --no-cache)")
+    if args.refresh:
+        parser.error(
+            "--claim-dir cannot be combined with --refresh "
+            "(every worker would recompute every point)"
+        )
+    if args.claim_ttl <= 0:
+        parser.error("--claim-ttl must be > 0 seconds")
+
+
+def _make_runner(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> ParallelRunner | ClaimedRunner:
     from repro.trace import configure_trace_cache
 
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
@@ -103,7 +158,14 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     # Compiled traces share the point cache's directory (under trace/);
     # forked sweep workers inherit the configuration.
     configure_trace_cache(None if args.no_cache else cache_dir)
-    return ParallelRunner(jobs=args.jobs, store=store, refresh=args.refresh)
+    runner = ParallelRunner(jobs=args.jobs, store=store, refresh=args.refresh)
+    if args.claim_dir is None:
+        return runner
+    _validate_claim_options(args, parser)
+    return ClaimedRunner(
+        runner,
+        ClaimBoard(args.claim_dir, owner=args.worker_id, ttl_s=args.claim_ttl),
+    )
 
 
 def _parse_axis(text: str) -> tuple[str, list[Any]]:
@@ -161,15 +223,43 @@ def _sweep_main(argv: list[str]) -> int:
         metavar="NAME=VALUE",
         help="a fixed parameter shared by every point (repeatable)",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="compute nothing: tail the cache until every grid point "
+        "has been computed (e.g. by claimed workers on other hosts), "
+        "printing each point as it lands",
+    )
+    parser.add_argument(
+        "--follow-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up following after this long with points still missing",
+    )
     _add_harness_options(parser)
     args = parser.parse_args(argv)
     if not args.axis:
         parser.error("at least one --axis is required")
 
     spec = SweepSpec(kind=args.kind, axes=dict(args.axis), base=dict(args.settings))
+    if args.follow:
+        if args.no_cache:
+            parser.error("--follow requires the result cache (drop --no-cache)")
+        if args.refresh:
+            parser.error("--follow computes nothing; it cannot --refresh")
+        if args.claim_dir is not None:
+            parser.error(
+                "--follow computes nothing and takes no claims; drop --claim-dir"
+            )
+        cache_dir = (
+            args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+        )
+        return _follow_sweep(spec, ResultStore(cache_dir), args.follow_timeout)
     started = time.perf_counter()
+    runner = _make_runner(args, parser)
     try:
-        result = _make_runner(args).run(spec)
+        result = runner.run(spec)
     except SweepError as exc:
         print(f"repro-paper sweep: error: {exc}", file=sys.stderr)
         return 1
@@ -179,16 +269,74 @@ def _sweep_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 1
+    finally:
+        runner.close()
     elapsed = time.perf_counter() - started
+    # sort_keys: a freshly computed result and one loaded back from the
+    # store must print identical bytes (the store writes sorted JSON),
+    # so serial, cached, claimed, and --follow output all compare equal.
     for point, value in result.items():
-        print(json.dumps({"params": point.as_dict(), "result": value}))
+        print(json.dumps({"params": point.as_dict(), "result": value}, sort_keys=True))
     report = result.report
     timing = report.timing_summary()
+    claims = getattr(runner, "claims", None)
+    claimed = ""
+    if claims is not None:
+        stats = claims.stats()
+        claimed = (
+            f"; claims: {stats['computed']} computed, "
+            f"{stats['stolen']} stolen as {stats['owner']}"
+        )
     print(
         f"[{len(result)} points in {elapsed:.1f}s: {report.executed} executed, "
         f"{report.cached} cached, jobs={report.jobs}"
         + (f"; {timing}" if timing else "")
+        + claimed
         + "]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _follow_sweep(
+    spec: SweepSpec,
+    store: ResultStore,
+    timeout_s: float | None,
+    poll_s: float = 0.25,
+) -> int:
+    """Tail a grid another worker is computing: print points as they land.
+
+    Output is byte-identical to a normal ``sweep`` over the same grid —
+    every grid point in grid order, one JSON object per line — so a
+    follower on one host can pipe the results of workers on others.
+    """
+    points = spec.points()
+    started = time.perf_counter()
+    deadline = None if timeout_s is None else started + timeout_s
+    for point in points:
+        while True:
+            entry = store.load_entry(point)
+            if entry is not MISS:
+                print(
+                    json.dumps(
+                        {"params": point.as_dict(), "result": entry.result},
+                        sort_keys=True,
+                    ),
+                    flush=True,
+                )
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                print(
+                    f"repro-paper sweep: error: --follow timed out after "
+                    f"{timeout_s}s with points still missing from "
+                    f"{store.root}",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(poll_s)
+    elapsed = time.perf_counter() - started
+    print(
+        f"[{len(points)} points followed in {elapsed:.1f}s from {store.root}]",
         file=sys.stderr,
     )
     return 0
@@ -234,6 +382,7 @@ def _serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.max_pending < 1:
         parser.error("--max-pending must be >= 1")
+    _validate_claim_options(args, parser)
 
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
     config = ServiceConfig(
@@ -244,6 +393,9 @@ def _serve_main(argv: list[str]) -> int:
         refresh=args.refresh,
         max_pending=args.max_pending,
         timeout_s=args.timeout,
+        claim_dir=args.claim_dir,
+        worker_id=args.worker_id,
+        claim_ttl_s=args.claim_ttl,
     )
 
     def announce(service) -> None:
@@ -303,25 +455,28 @@ def main(argv: list[str] | None = None) -> int:
             f"(known: {', '.join(RENDERERS)})"
         )
 
-    runner = _make_runner(args)
-    for name in names:
-        started = time.perf_counter()
-        runner.last_report = None  # so table1/table2 don't echo stale timing
-        try:
-            output = render(name, fast=args.fast, runner=runner)
-        except SweepError as exc:
-            print(f"repro-paper: error: {exc}", file=sys.stderr)
-            return 1
-        elapsed = time.perf_counter() - started
-        print(output)
-        report = runner.last_report
-        timing = report.timing_summary() if report is not None else ""
-        print(
-            f"[{name} regenerated in {elapsed:.1f}s"
-            + (f"; {timing}" if timing else "")
-            + "]"
-        )
-        print()
+    runner = _make_runner(args, parser)
+    try:
+        for name in names:
+            started = time.perf_counter()
+            runner.last_report = None  # so table1/table2 don't echo stale timing
+            try:
+                output = render(name, fast=args.fast, runner=runner)
+            except SweepError as exc:
+                print(f"repro-paper: error: {exc}", file=sys.stderr)
+                return 1
+            elapsed = time.perf_counter() - started
+            print(output)
+            report = runner.last_report
+            timing = report.timing_summary() if report is not None else ""
+            print(
+                f"[{name} regenerated in {elapsed:.1f}s"
+                + (f"; {timing}" if timing else "")
+                + "]"
+            )
+            print()
+    finally:
+        runner.close()
     return 0
 
 

@@ -20,6 +20,12 @@ Every point is bit-deterministic (all randomness is seeded through
 interchangeable.  See ``docs/harness.md``.
 """
 
+from repro.harness.claims import (
+    DEFAULT_CLAIM_TTL_S,
+    ClaimBoard,
+    ClaimedRunner,
+    ClaimInfo,
+)
 from repro.harness.runner import (
     ParallelRunner,
     PointOutcome,
@@ -47,6 +53,10 @@ from repro.harness.store import (
 )
 
 __all__ = [
+    "ClaimBoard",
+    "ClaimInfo",
+    "ClaimedRunner",
+    "DEFAULT_CLAIM_TTL_S",
     "ENTRY_VERSION",
     "MISS",
     "ParallelRunner",

@@ -314,7 +314,7 @@ class ParallelRunner:
                 for start in range(0, count, self.chunk_size)
             ]
         bins = min(count, workers * 4)
-        durations = self._predicted_durations(pending)
+        durations = self.predicted_durations(pending)
         order = sorted(range(count), key=lambda i: (-durations[i], i))
         heap: list[tuple[float, int]] = [(0.0, b) for b in range(bins)]
         packed: list[list[int]] = [[] for _ in range(bins)]
@@ -324,7 +324,7 @@ class ParallelRunner:
             heapq.heappush(heap, (load + durations[index], which))
         return [sorted(chunk) for chunk in packed if chunk]
 
-    def _predicted_durations(self, pending: list[SweepPoint]) -> list[float]:
+    def predicted_durations(self, pending: list[SweepPoint]) -> list[float]:
         """Predicted compute seconds per point, from recorded wall times.
 
         Precedence: the point's own stored time (available under
@@ -332,7 +332,9 @@ class ParallelRunner:
         the mean over recorded entries of the same kind with the same
         ``app``, then the kind-level mean, then the overall mean (1.0
         when the store has no timing signal at all — equal weights make
-        greedy packing degrade to balanced counts).
+        greedy packing degrade to balanced counts).  Shared by batch
+        chunk packing and the service's background-job submission order
+        (stragglers first).
         """
         if self.store is None:
             return [1.0] * len(pending)

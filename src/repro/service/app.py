@@ -118,6 +118,10 @@ class ServiceApp:
                 "entries": self._count_trace_entries(trace_dir),
             }
         )
+        # Claim coordination (multi-replica deployments): held/stolen/
+        # released counters, or null when this replica runs unclaimed.
+        claims = getattr(runner, "claims", None)
+        snapshot["claims"] = claims.stats() if claims is not None else None
         return Response(payload=snapshot)
 
     def _count_cache_entries(self) -> int | None:

@@ -201,7 +201,15 @@ class ComputePool:
         try:
             future = self.runner.submit_point(point)
             outcome = await asyncio.wrap_future(future)
-            self.stats.note_computed(outcome, time.perf_counter() - started)
+            wall = time.perf_counter() - started
+            if outcome.cached:
+                # A claimed replica resolves points computed by a *peer*
+                # replica as cached outcomes (it waited on the claim and
+                # read the store) — that is a hit, not a local compute,
+                # or /statz would double-count the fleet's work.
+                self.stats.note_hit(outcome, wall)
+            else:
+                self.stats.note_computed(outcome, wall)
             return outcome
         except SweepError:
             self.stats.errors += 1
@@ -298,6 +306,18 @@ class JobTable:
     def jobs(self) -> list[SweepJob]:
         return sorted(self._jobs.values(), key=lambda job: job.id)
 
+    def _submission_order(self, points: list[SweepPoint]) -> list[int]:
+        """Indices longest-predicted-first — the same recorded-wall-time
+        signal batch chunk packing uses, so a job's stragglers start
+        first instead of serializing behind the grid's tail.  With no
+        timing signal every point weighs the same and the sort is
+        stable, preserving grid order."""
+        try:
+            durations = self.pool.runner.predicted_durations(points)
+        except Exception:
+            return list(range(len(points)))
+        return sorted(range(len(points)), key=lambda i: (-durations[i], i))
+
     async def _drive(self, job: SweepJob) -> None:
         semaphore = asyncio.Semaphore(self.concurrency)
 
@@ -308,8 +328,14 @@ class JobTable:
             job.done += 1
             job.cached += 1 if outcome.cached else 0
 
+        # to_thread: predicting durations scans the store's recorded
+        # entries on disk — off the event loop, like every other bulk
+        # cache scan.  gather() starts tasks in argument order and the
+        # semaphore admits them in that order, so submission follows
+        # the predicted-duration order; results stay in grid order.
+        order = await asyncio.to_thread(self._submission_order, job.points)
         settled = await asyncio.gather(
-            *(one(i, point) for i, point in enumerate(job.points)),
+            *(one(i, job.points[i]) for i in order),
             return_exceptions=True,
         )
         failures = [exc for exc in settled if isinstance(exc, BaseException)]

@@ -11,7 +11,13 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
-from repro.harness import ParallelRunner, ResultStore
+from repro.harness import (
+    DEFAULT_CLAIM_TTL_S,
+    ClaimBoard,
+    ClaimedRunner,
+    ParallelRunner,
+    ResultStore,
+)
 from repro.service.app import ServiceApp
 from repro.service.jobs import ComputePool, JobTable
 from repro.service.wire import (
@@ -40,6 +46,15 @@ class ServiceConfig:
     #: connection (it gets a 408, not a silent close).
     request_timeout_s: float = 30.0
     job_concurrency: int = 2
+    #: Claim-file directory for multi-replica deployments (canonically
+    #: ``<cache-dir>/claims``): replicas sharing one cache dir claim
+    #: each point before computing it, so a grid submitted to two
+    #: replicas is computed exactly once across them.  None disables
+    #: claim coordination (single-replica default).
+    claim_dir: str | None = None
+    #: Claim owner id for this replica (default: host:pid).
+    worker_id: str | None = None
+    claim_ttl_s: float = DEFAULT_CLAIM_TTL_S
 
 
 class ReproService:
@@ -57,6 +72,21 @@ class ReproService:
             )
             runner = ParallelRunner(
                 jobs=self.config.jobs, store=store, refresh=self.config.refresh
+            )
+        if self.config.claim_dir is not None and not isinstance(
+            runner, ClaimedRunner
+        ):
+            # Replica mode: claim points before computing them, so
+            # replicas sharing this cache dir divide grids between
+            # them instead of duplicating work (raises on store=None —
+            # claims without a shared store cannot share results).
+            runner = ClaimedRunner(
+                runner,
+                ClaimBoard(
+                    self.config.claim_dir,
+                    owner=self.config.worker_id,
+                    ttl_s=self.config.claim_ttl_s,
+                ),
             )
         self.runner = runner
         if self.runner.store is not None:

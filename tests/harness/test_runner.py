@@ -286,7 +286,7 @@ class TestStragglerPacking:
             )
         runner = ParallelRunner(jobs=2, store=store)
         pending = self._points(["ocean", "em3d"], reps=4)
-        durations = runner._predicted_durations(pending)
+        durations = runner.predicted_durations(pending)
         by_app = {p["app"]: d for p, d in zip(pending, durations)}
         assert by_app == {"ocean": 4.0, "em3d": 1.0}
         chunks = runner._pack_chunks(pending, workers=1)
@@ -299,7 +299,7 @@ class TestStragglerPacking:
         point = SweepPoint.make("selftest", {"payload": 1, "app": "em3d"})
         store.store(point, {"echo": 1}, elapsed_s=9.0)
         runner = ParallelRunner(jobs=2, store=store, refresh=True)
-        assert runner._predicted_durations([point]) == [9.0]
+        assert runner.predicted_durations([point]) == [9.0]
 
     def test_kind_mean_fallback_without_app_match(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -308,7 +308,7 @@ class TestStragglerPacking:
         )
         runner = ParallelRunner(jobs=2, store=store)
         fresh = [SweepPoint.make("selftest", {"payload": "y", "app": "novel"})]
-        assert runner._predicted_durations(fresh) == [3.0]
+        assert runner.predicted_durations(fresh) == [3.0]
 
     def test_packing_is_deterministic(self, tmp_path):
         store = ResultStore(tmp_path)

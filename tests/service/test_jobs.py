@@ -4,7 +4,14 @@ import asyncio
 
 import pytest
 
-from repro.harness import ParallelRunner, ResultStore, SweepError, SweepPoint
+from repro.harness import (
+    ClaimBoard,
+    ClaimedRunner,
+    ParallelRunner,
+    ResultStore,
+    SweepError,
+    SweepPoint,
+)
 from repro.service.jobs import ComputePool, JobTable, PointTimeout, PoolSaturated
 
 from tests.service.conftest import CALLS, gate
@@ -266,6 +273,130 @@ class TestJobTable:
             assert table.get(first.id) is None
             assert table.get(third.id) is not None
             runner.close()
+
+        asyncio.run(scenario())
+
+
+class TestJobSubmissionOrder:
+    def test_stragglers_submitted_first(self, tmp_path):
+        """Background jobs use the same predicted-duration signal as
+        batch chunk packing: recorded-slow points start first."""
+        store = ResultStore(tmp_path / "cache")
+        for i, (app, elapsed) in enumerate(
+            [("slow", 5.0), ("slow", 5.0), ("fast", 0.1), ("fast", 0.1)]
+        ):
+            store.store(
+                SweepPoint.make("svc_probe", {"payload": f"old-{i}", "app": app}),
+                {"echo": i},
+                elapsed_s=elapsed,
+            )
+        runner = ParallelRunner(jobs=1, store=store)
+        table = JobTable(ComputePool(runner))
+        points = [
+            probe_point(payload=1, app="fast"),
+            probe_point(payload=2, app="slow"),
+            probe_point(payload=3, app="fast"),
+            probe_point(payload=4, app="slow"),
+        ]
+        assert table._submission_order(points) == [1, 3, 0, 2]
+
+    def test_no_timing_signal_preserves_grid_order(self, tmp_path):
+        runner = ParallelRunner(jobs=1)  # no store: every weight equal
+        table = JobTable(ComputePool(runner))
+        points = [probe_point(payload=i) for i in range(4)]
+        assert table._submission_order(points) == [0, 1, 2, 3]
+
+    def test_results_stay_in_grid_order_despite_reordering(self, tmp_path):
+        async def scenario():
+            store = ResultStore(tmp_path / "cache")
+            store.store(
+                SweepPoint.make("svc_probe", {"payload": "old", "app": "slow"}),
+                {"echo": 0},
+                elapsed_s=5.0,
+            )
+            runner = ParallelRunner(jobs=1, store=store)
+            pool = ComputePool(runner)
+            table = JobTable(pool, concurrency=1)
+            points = [
+                probe_point(payload=1, app="fast"),
+                probe_point(payload=2, app="slow"),
+            ]
+            job = table.submit("svc_probe", points)
+            await settle(lambda: job.state != "running")
+            assert job.state == "done"
+            status = job.status(include_results=True)
+            assert [p["result"]["echo"] for p in status["points"]] == [1, 2]
+            runner.close()
+
+        asyncio.run(scenario())
+
+
+class TestClaimedReplicas:
+    """Two service replicas sharing one cache dir divide the compute."""
+
+    def make_replica(self, tmp_path, name):
+        return ClaimedRunner(
+            ParallelRunner(jobs=1, store=ResultStore(tmp_path / "cache")),
+            ClaimBoard(tmp_path / "cache" / "claims", owner=name, ttl_s=30.0),
+            poll_interval_s=0.02,
+        )
+
+    def test_same_point_computed_once_across_replicas(self, tmp_path):
+        first = self.make_replica(tmp_path, "replica-1")
+        second = self.make_replica(tmp_path, "replica-2")
+        try:
+            point = probe_point(payload=1, gate="replica")
+            blocked = first.submit_point(point)  # claims, starts computing
+            waiting = second.submit_point(point)  # claim held: waits
+            assert not waiting.done()
+            gate("replica").set()
+            one = blocked.result(timeout=30)
+            two = waiting.result(timeout=30)
+            assert one.value == two.value
+            assert not one.cached and two.cached  # replica-2 read the store
+            assert CALLS["default"] == 1  # exactly one computation
+            assert second.claims.stats()["computed"] == 0
+        finally:
+            first.close()
+            second.close()
+
+    def test_job_grid_split_across_replica_pools(self, tmp_path):
+        """The same sweep job submitted to two replicas' job tables:
+        every point computed exactly once across the pair."""
+
+        async def scenario():
+            first = self.make_replica(tmp_path, "replica-1")
+            second = self.make_replica(tmp_path, "replica-2")
+            try:
+                points = [probe_point(payload=i) for i in range(6)]
+                pool_one = ComputePool(first)
+                pool_two = ComputePool(second)
+                table_one = JobTable(pool_one, concurrency=2)
+                table_two = JobTable(pool_two, concurrency=2)
+                job_one = table_one.submit("svc_probe", points)
+                job_two = table_two.submit("svc_probe", points)
+                await settle(
+                    lambda: job_one.state != "running"
+                    and job_two.state != "running",
+                    timeout=30,
+                )
+                assert job_one.state == "done" and job_two.state == "done"
+                assert [r["echo"] for r in job_one.results] == list(range(6))
+                assert job_one.results == job_two.results
+                assert CALLS["default"] == 6  # nothing computed twice
+                stats_one = first.claims.stats()
+                stats_two = second.claims.stats()
+                assert stats_one["computed"] + stats_two["computed"] == 6
+                # /statz accounting matches the claim split: a point the
+                # peer computed counts as a (waited-on) hit, not a local
+                # compute — each replica's computes equal its own claims.
+                assert pool_one.stats.computes == stats_one["computed"]
+                assert pool_two.stats.computes == stats_two["computed"]
+                assert pool_one.stats.computes + pool_one.stats.hits == 6
+                assert pool_two.stats.computes + pool_two.stats.hits == 6
+            finally:
+                first.close()
+                second.close()
 
         asyncio.run(scenario())
 

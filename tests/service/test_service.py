@@ -452,3 +452,37 @@ class TestTraceCacheStats:
             assert entry.meta == {"trace_cache": {"hits": 0, "misses": 1}}
 
         run_with_service(tmp_path, scenario)
+
+
+class TestClaimedService:
+    def test_statz_claims_null_without_claim_dir(self, tmp_path):
+        async def scenario(service):
+            status, stats = await http_request(service.port, "/statz")
+            assert status == 200
+            assert stats["claims"] is None
+
+        run_with_service(tmp_path, scenario)
+
+    def test_claimed_replica_reports_claim_stats(self, tmp_path):
+        """A replica configured with a claim dir wraps its runner and
+        surfaces held/stolen/released counters in /statz."""
+
+        async def scenario(service):
+            target = "/v1/point?kind=svc_probe&payload=1"
+            status, body = await http_request(service.port, target)
+            assert status == 200 and body["cached"] is False
+            status, stats = await http_request(service.port, "/statz")
+            claims = stats["claims"]
+            assert claims["owner"] == "replica-test"
+            assert claims["claimed"] == 1
+            assert claims["computed"] == 1
+            assert claims["released"] == 1
+            assert claims["held"] == 0 and claims["stolen"] == 0
+            assert claims["dir"].endswith("claims")
+
+        run_with_service(
+            tmp_path,
+            scenario,
+            claim_dir=str(tmp_path / "cache" / "claims"),
+            worker_id="replica-test",
+        )
