@@ -22,8 +22,10 @@ paper's own, printing one JSON object per point::
         --axis depth=1,2,4 --set iterations=8 --jobs 4
 
 Accuracy points run on the vectorized trace pipeline and speculation
-points on the calendar-queue timing engine by default; pass ``--set
-engine=reference`` to select the bit-identical reference engines
+points on the calendar-queue timing engine by default; ``--set
+engine=compiled`` selects timing-trace record/replay and ``--set
+engine=reference`` the frozen baselines.  All engines are
+bit-identical, so the setting is excluded from cache keys
 (docs/performance.md).
 
 Several workers — processes or hosts — can divide one grid between
@@ -64,6 +66,7 @@ from repro.harness import (
     SweepError,
     SweepSpec,
     runner_kinds,
+    validate_point_params,
 )
 
 def _default_cache_dir() -> str:
@@ -193,11 +196,12 @@ def _sweep_main(argv: list[str]) -> int:
         ),
         epilog=(
             "Engine switches: accuracy points accept --set "
-            "engine=reference (per-message predictors instead of the "
-            "vectorized trace pipeline) and speculation points accept "
-            "--set engine=reference (heapq timing engine instead of "
-            "the calendar queue).  Both pairs are bit-identical; see "
-            "docs/performance.md."
+            "engine=vectorized|reference (the columnar trace pipeline "
+            "or the per-message predictors) and speculation points "
+            "accept --set engine=fast|compiled|reference (the calendar "
+            "queue, timing-trace record/replay, or the heapq "
+            "baseline).  All are bit-identical, so engine is excluded "
+            "from cache keys; see docs/performance.md."
         ),
     )
     parser.add_argument(
@@ -243,6 +247,20 @@ def _sweep_main(argv: list[str]) -> int:
         parser.error("at least one --axis is required")
 
     spec = SweepSpec(kind=args.kind, axes=dict(args.axis), base=dict(args.settings))
+    # Fail fast on parameters that can never run (e.g. an unknown
+    # --set engine=...), before any point is claimed or computed.  Grid
+    # *expansion* errors (non-canonicalizable values like nested NaN)
+    # keep their "invalid sweep parameters" reporting further down.
+    try:
+        points = spec.points()
+    except (TypeError, ValueError):
+        points = []
+    try:
+        for point in points:
+            validate_point_params(point.kind, point.as_dict())
+    except ValueError as exc:
+        print(f"repro-paper sweep: error: {exc}", file=sys.stderr)
+        return 2
     if args.follow:
         if args.no_cache:
             parser.error("--follow requires the result cache (drop --no-cache)")

@@ -41,11 +41,14 @@ from repro.harness.runners import (
     execute_point_timed,
     get_runner,
     register_runner,
+    register_validator,
     runner_kinds,
+    validate_point_params,
 )
 from repro.harness.spec import SweepPoint, SweepSpec
 from repro.harness.store import (
     ENTRY_VERSION,
+    KEY_NEUTRAL_PARAMS,
     MISS,
     SCHEMA_VERSION,
     ResultStore,
@@ -58,6 +61,7 @@ __all__ = [
     "ClaimedRunner",
     "DEFAULT_CLAIM_TTL_S",
     "ENTRY_VERSION",
+    "KEY_NEUTRAL_PARAMS",
     "MISS",
     "ParallelRunner",
     "PointMetrics",
@@ -75,6 +79,8 @@ __all__ = [
     "execute_point_timed",
     "get_runner",
     "register_runner",
+    "register_validator",
     "resolve_jobs",
     "runner_kinds",
+    "validate_point_params",
 ]

@@ -12,7 +12,13 @@ import time
 from typing import Any
 
 from repro.common.literals import parse_literal
-from repro.harness import SweepError, SweepPoint, SweepSpec, runner_kinds
+from repro.harness import (
+    SweepError,
+    SweepPoint,
+    SweepSpec,
+    runner_kinds,
+    validate_point_params,
+)
 from repro.service.jobs import ComputePool, JobTable, PointTimeout, PoolSaturated
 from repro.service.wire import Request, Response, error_response
 
@@ -127,34 +133,43 @@ class ServiceApp:
     def _count_cache_entries(self) -> int | None:
         """Point entries in the store, amortized over a few seconds.
 
-        Compiled traces share the store's directory (under ``trace/``)
-        but are inputs, not point results — they are excluded here and
-        counted separately in the ``trace_cache`` section.
+        Compiled traces — both families, accuracy (``trace/``) and
+        timing (``timetrace/``) — share the store's directory but are
+        inputs, not point results: they are excluded here and counted
+        separately in the ``trace_cache`` section.
         """
         store = self.pool.runner.store
         if store is None:
             return None
         now = time.monotonic()
         if self._cache_count is None or now - self._cache_count[0] > _CACHE_COUNT_TTL_S:
-            from repro.trace.cache import TRACE_KIND
+            from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
 
             total = len(store)
-            traces = len(list(store.root.glob(f"{TRACE_KIND}/*.json")))
+            traces = sum(
+                len(list(store.root.glob(f"{kind}/*.json")))
+                for kind in (TRACE_KIND, TIMETRACE_KIND)
+            )
             self._cache_count = (now, total - traces)
         return self._cache_count[1]
 
     def _count_trace_entries(self, trace_dir: str | None) -> int | None:
-        """Compiled traces on disk, amortized like the cache-entry count."""
+        """Compiled traces on disk (both families), amortized like the
+        cache-entry count."""
         if trace_dir is None:
             return None
         now = time.monotonic()
         if self._trace_count is None or now - self._trace_count[0] > _CACHE_COUNT_TTL_S:
             from pathlib import Path
 
-            from repro.trace.cache import TRACE_KIND
+            from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
 
             self._trace_count = (
-                now, len(list(Path(trace_dir).glob(f"{TRACE_KIND}/*.json")))
+                now,
+                sum(
+                    len(list(Path(trace_dir).glob(f"{kind}/*.json")))
+                    for kind in (TRACE_KIND, TIMETRACE_KIND)
+                ),
             )
         return self._trace_count[1]
 
@@ -246,6 +261,7 @@ class ServiceApp:
                 return error_response(400, f"unknown reserved parameter {name!r}")
             params[name] = parse_literal(raw)
         try:
+            validate_point_params(kind, params)
             point = SweepPoint.make(kind, params)
         except (TypeError, ValueError) as exc:
             return error_response(400, f"invalid point parameters: {exc}")
@@ -304,6 +320,8 @@ class ServiceApp:
             return error_response(400, "at least one axis is required")
         try:
             points = SweepSpec(kind=kind, axes=axes, base=base).points()
+            for point in points:
+                validate_point_params(kind, point.as_dict())
         except (TypeError, ValueError) as exc:
             return error_response(400, f"invalid sweep grid: {exc}")
         if len(points) > MAX_SWEEP_POINTS:

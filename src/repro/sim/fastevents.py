@@ -44,7 +44,11 @@ from typing import Callable, Union
 from repro.sim.events import EventQueue
 
 #: The timing engines :class:`~repro.sim.machine.Machine` accepts.
-ENGINES = ("fast", "reference")
+#: ``"compiled"`` runs on the calendar queue too; the difference is in
+#: :class:`~repro.sim.machine.Machine`, which records the run as a
+#: macro-step trace and replays cached traces without simulating
+#: (see ``repro.sim.timetrace``).
+ENGINES = ("fast", "compiled", "reference")
 
 #: Either timing queue; components accept both interchangeably.
 TimingQueue = Union[EventQueue, "CalendarEventQueue"]
@@ -53,12 +57,13 @@ TimingQueue = Union[EventQueue, "CalendarEventQueue"]
 def make_event_queue(engine: str = "fast") -> TimingQueue:
     """Build the event queue for one simulated machine.
 
-    ``"fast"`` is the calendar queue below; ``"reference"`` is the
+    ``"fast"`` is the calendar queue below; ``"compiled"`` shares it
+    (its recording pass is a fast-engine run); ``"reference"`` is the
     original heapq :class:`~repro.sim.events.EventQueue`, kept as the
     trusted semantic baseline (mirroring the accuracy pipeline's
     ``engine="vectorized"|"reference"`` switch).
     """
-    if engine == "fast":
+    if engine in ("fast", "compiled"):
         return CalendarEventQueue()
     if engine == "reference":
         return EventQueue()

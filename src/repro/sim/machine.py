@@ -96,17 +96,28 @@ class Machine:
         mode: MachineMode = MachineMode.BASE,
         spec_depth: int = 1,
         engine: str = "fast",
+        trace_key: dict | None = None,
     ) -> None:
         """``engine`` selects the timing engine (see docs/performance.md):
 
         * ``"fast"`` (default) — the calendar event queue plus the
           low-allocation component subclasses;
+        * ``"compiled"`` — the fast engine plus timing-trace record /
+          replay: a cached macro-step trace replays the run in batch
+          (``repro.sim.timetrace``), a miss records one live run;
         * ``"reference"`` — the original heapq queue and closure-based
           components, kept as the trusted baseline.
 
-        Both produce bit-identical :class:`RunResult`\\ s (the golden
-        equivalence suite gates this), so the engine choice never needs
-        to appear in experiment cache keys.
+        All three produce bit-identical :class:`RunResult`\\ s (the
+        golden equivalence suite gates this), so the engine choice
+        never needs to appear in experiment cache keys.
+
+        ``trace_key`` (compiled engine only) names the parameters that
+        deterministically produced ``workload`` — e.g. ``{"app": ...,
+        "num_procs": ..., "iterations": ..., "seed": ...}`` — and
+        becomes the trace-cache address together with the mode, the
+        speculation depth, and every config field.  Without it the
+        workload content is fingerprinted instead.
         """
         # make_event_queue validates `engine` (raising before any
         # component is built), so no separate check is needed here.
@@ -119,13 +130,33 @@ class Machine:
         self.workload = workload
         self.mode = mode
         self.engine = engine
-        self._fast = engine == "fast"
+        self.spec_depth = spec_depth
+        self.trace_key = dict(trace_key) if trace_key is not None else None
+        self._fast = engine in ("fast", "compiled")
+        self._recorder = None
+        #: Events the last live run processed (set by :meth:`_run_live`,
+        #: recorded into timing traces).
+        self.events_processed = 0
         self._swi_hints = mode in (MachineMode.SWI, MachineMode.MIG)
         home_cls = FastHomeDirectory if self._fast else HomeDirectory
         proc_cls = FastProcessor if self._fast else Processor
         self.events = make_event_queue(engine)
         self.net = Interconnect(self.config, self.events)
-        self.barrier = BarrierManager(self.config.num_nodes, self.config, self.events)
+        if engine == "compiled":
+            # Imported lazily to keep repro.sim.machine importable from
+            # the timetrace modules themselves.
+            from repro.sim.timetrace.recorder import RecordingBarrierManager
+
+            self.barrier = RecordingBarrierManager(
+                self.config.num_nodes,
+                self.config,
+                self.events,
+                on_fire=self._barrier_fired,
+            )
+        else:
+            self.barrier = BarrierManager(
+                self.config.num_nodes, self.config, self.events
+            )
         self.locks = LockManager(self.config, self.events)
         self.stats = StatSet()
         self._request_blocks: dict[str, set[BlockId]] = {}
@@ -244,6 +275,11 @@ class Machine:
         else:
             self.net.send(pid, home, lambda: self._homes[home].request(hint))
 
+    def _barrier_fired(self) -> None:
+        """Compiled-engine hook: one macro step ends at each barrier."""
+        if self._recorder is not None:
+            self._recorder.take()
+
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> RunResult:
         """Execute the workload to completion and collect results.
@@ -252,10 +288,24 @@ class Machine:
         pending raises :class:`EventBudgetExhausted`; an empty queue
         with unfinished processors is a genuine deadlock and raises a
         plain ``RuntimeError``.
+
+        The compiled engine replays a cached timing trace when one
+        exists, or records this run for the next caller; bounded runs
+        always execute live so the budget-exhaustion and deadlock
+        semantics above hold unchanged (a replay could not know where
+        a smaller budget would have stopped).
         """
+        if self.engine == "compiled" and max_events is None:
+            from repro.sim.timetrace.cache import run_compiled
+
+            return run_compiled(self)
+        return self._run_live(max_events)
+
+    def _run_live(self, max_events: int | None) -> RunResult:
         for context in self._nodes:
             context.processor.start()
         processed = self.events.run(max_events=max_events)
+        self.events_processed = processed
         unfinished = [
             c.processor.pid for c in self._nodes if c.processor.finish_time is None
         ]

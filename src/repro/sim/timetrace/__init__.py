@@ -1,0 +1,28 @@
+"""Compiled timing engine: record a run once, replay it in batch.
+
+See :mod:`repro.sim.timetrace.trace` for the macro-step trace format,
+:mod:`repro.sim.timetrace.recorder` for the instrumented recording
+pass, and :mod:`repro.sim.timetrace.cache` for the content-addressed
+cache-first entry point ``Machine(engine="compiled")`` uses.
+"""
+
+from repro.sim.timetrace.cache import (
+    reset_timetrace_memo,
+    run_compiled,
+    timetrace_point,
+    workload_fingerprint,
+)
+from repro.sim.timetrace.recorder import RecordingBarrierManager, RunRecorder
+from repro.sim.timetrace.trace import SPEC_FIELDS, TIMETRACE_SCHEMA, TimingTrace
+
+__all__ = [
+    "RecordingBarrierManager",
+    "RunRecorder",
+    "SPEC_FIELDS",
+    "TIMETRACE_SCHEMA",
+    "TimingTrace",
+    "reset_timetrace_memo",
+    "run_compiled",
+    "timetrace_point",
+    "workload_fingerprint",
+]

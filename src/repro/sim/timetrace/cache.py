@@ -1,0 +1,203 @@
+"""Cache-first execution of the compiled timing engine.
+
+:func:`run_compiled` is what ``Machine(engine="compiled").run()``
+delegates to.  The flow mirrors the accuracy pipeline's
+``compile_app_trace``:
+
+1. address the run — its workload, configuration, mode, and
+   speculation depth — as a ``timetrace``-kind sweep point;
+2. on a cache hit (an in-process memo first, then the on-disk trace
+   store shared with compiled accuracy traces), decode the columnar
+   payload and :meth:`~repro.sim.timetrace.trace.TimingTrace.replay`
+   it — no events are dispatched;
+3. on a miss, run the simulation live with a
+   :class:`~repro.sim.timetrace.recorder.RunRecorder` attached, build
+   the trace, and memoize/store it.
+
+Runs that end in a deadlock (or any other error) never store a trace;
+bounded runs (``max_events``) bypass this module entirely inside
+:meth:`Machine.run`, so ``EventBudgetExhausted`` and deadlock
+semantics are exactly the live engines'.  Corrupt or stale cache
+entries decode as misses and fall back to a live run.
+
+Workloads reached through the evaluation layer carry an explicit
+``trace_key`` (the app parameters that deterministically produce
+them); bare workloads — tests, library users — are fingerprinted by
+content instead.  Either way the address also folds in every
+:class:`~repro.common.config.SystemConfig` field, the machine mode,
+and the speculation depth, so any parameter change misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.apps.base import (
+    Compute,
+    LockAcquire,
+    LockRelease,
+    MemRead,
+    MemWrite,
+    Workload,
+)
+from repro.common.canonical import canonical_hash
+from repro.harness.spec import SweepPoint
+from repro.harness.store import MISS
+from repro.sim.timetrace.trace import TimingTrace
+from repro.trace.cache import (
+    TIMETRACE_KIND,
+    note_trace_event,
+    timetrace_store,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine, RunResult
+
+#: In-process memo of decoded traces (an L1 over the disk store, and
+#: the whole cache when no directory is configured).  Bounded so a
+#: long-lived service cannot grow it without limit.
+_MEMO_LIMIT = 128
+_memo: OrderedDict[str, TimingTrace] = OrderedDict()
+
+
+def reset_timetrace_memo() -> None:
+    """Drop every in-process memoized trace (tests, cold benchmarks)."""
+    _memo.clear()
+
+
+def _memoize(key: str, trace: TimingTrace) -> None:
+    _memo[key] = trace
+    _memo.move_to_end(key)
+    while len(_memo) > _MEMO_LIMIT:
+        _memo.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# addressing
+# ----------------------------------------------------------------------
+def workload_fingerprint(workload: Workload) -> str:
+    """Content hash of a workload's program view.
+
+    Covers everything the timing simulator consumes: the per-phase,
+    per-processor operation lists (with racy flags) and the lock set.
+    The block view is derived from the same builder calls, so it needs
+    no separate hashing.
+    """
+    phases = []
+    for phase in workload.phases:
+        ops = {}
+        for proc, op_list in phase.ops.items():
+            encoded = []
+            for op in op_list:
+                if type(op) is Compute:
+                    encoded.append(["c", op.cycles])
+                elif type(op) is MemRead:
+                    encoded.append(["r", op.block])
+                elif type(op) is MemWrite:
+                    encoded.append(["w", op.block])
+                elif type(op) is LockAcquire:
+                    encoded.append(["la", op.lock])
+                elif type(op) is LockRelease:
+                    encoded.append(["lr", op.lock])
+                else:  # future op kinds must extend the fingerprint
+                    raise TypeError(f"unknown op {type(op).__name__}")
+            ops[str(proc)] = encoded
+        phases.append(
+            {
+                "name": phase.name,
+                "racy_reads": phase.racy_reads,
+                "racy_acks": phase.racy_acks,
+                "ops": ops,
+            }
+        )
+    return canonical_hash(
+        {
+            "name": workload.name,
+            "num_procs": workload.num_procs,
+            "phases": phases,
+            "locks": sorted(workload.locks),
+        }
+    )
+
+
+def timetrace_point(machine: "Machine") -> SweepPoint:
+    """The cache address of one machine run's timing trace."""
+    params: dict[str, Any] = dict(
+        machine.trace_key
+        if machine.trace_key is not None
+        else {"workload": workload_fingerprint(machine.workload)}
+    )
+    params["mode"] = machine.mode.value
+    params["spec_depth"] = machine.spec_depth
+    params["config"] = dataclasses.asdict(machine.config)
+    return SweepPoint.make(TIMETRACE_KIND, params)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _lookup(point: SweepPoint, num_nodes: int) -> TimingTrace | None:
+    trace = _memo.get(point.key)
+    if trace is not None and trace.num_nodes == num_nodes:
+        _memo.move_to_end(point.key)
+        return trace
+    store = timetrace_store()
+    if store is None:
+        return None
+    entry = store.load_entry(point)
+    if entry is MISS:
+        return None
+    try:
+        trace = TimingTrace.from_payload(entry.result)
+    except (KeyError, TypeError, ValueError):
+        return None  # unreadable payload degrades to a miss
+    if trace.num_nodes != num_nodes:
+        return None
+    _memoize(point.key, trace)
+    return trace
+
+
+def run_compiled(machine: "Machine") -> "RunResult":
+    """Replay the machine's run from cache, or record it live."""
+    point = timetrace_point(machine)
+    trace = _lookup(point, machine.config.num_nodes)
+    if trace is not None:
+        note_trace_event(hit=True)
+        return trace.replay()
+
+    from repro.sim.timetrace.recorder import RunRecorder
+
+    note_trace_event(hit=False)
+    started = time.perf_counter()
+    recorder = RunRecorder(machine)
+    machine._recorder = recorder
+    try:
+        result = machine._run_live(None)
+    finally:
+        machine._recorder = None
+    trace = recorder.build(result, events=machine.events_processed)
+    _memoize(point.key, trace)
+    store = timetrace_store()
+    if store is not None:
+        try:
+            store.store(
+                point,
+                trace.as_payload(),
+                elapsed_s=time.perf_counter() - started,
+                meta={
+                    "content_hash": trace.content_hash(),
+                    "steps": len(trace),
+                    "events": trace.events,
+                },
+            )
+        except OSError:
+            pass  # a full/readonly cache degrades to re-recording
+    return result
+
+
+def describe_key(params: Mapping[str, Any]) -> SweepPoint:
+    """Build a ``timetrace`` point from raw params (tests, tooling)."""
+    return SweepPoint.make(TIMETRACE_KIND, dict(params))

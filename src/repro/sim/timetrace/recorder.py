@@ -1,0 +1,155 @@
+"""Recording pass: instrument a live run into a :class:`TimingTrace`.
+
+The recorder snapshots the machine's cumulative accounting — clock,
+per-node stall/sync cycles, the counter set, summed speculation stats —
+at the start of the run and at every global barrier firing, then once
+more when the run completes.  Consecutive snapshot differences become
+the macro-step columns; because a replay only ever *sums* the columns,
+the deltas telescope and the reconstruction is exact however the
+barrier boundaries slice the run.
+
+The hook is :class:`RecordingBarrierManager`, a
+:class:`~repro.sim.sync.BarrierManager` that fires a callback at the
+instant the last processor arrives (before the releases are
+scheduled).  The compiled engine installs it unconditionally; with no
+recorder attached the callback is a no-op, so cached replays and
+bounded (``max_events``) live runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.sim.sync import BarrierManager
+from repro.sim.timetrace.trace import SPEC_FIELDS, TimingTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.common.types import NodeId
+    from repro.sim.machine import Machine, RunResult
+
+
+class RecordingBarrierManager(BarrierManager):
+    """A barrier that announces each firing to an attached recorder."""
+
+    def __init__(self, *args, on_fire: Callable[[], None]) -> None:
+        super().__init__(*args)
+        self._on_fire = on_fire
+
+    def arrive(self, proc: "NodeId", resume: Callable, *args) -> None:
+        if len(self._waiting) + 1 == self._num_procs:
+            self._on_fire()
+        super().arrive(proc, resume, *args)
+
+
+class RunRecorder:
+    """Accumulates snapshots during one run and builds the trace."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self._snaps: list[tuple] = []
+        self.take()  # baseline at cycle 0
+
+    def take(self) -> None:
+        m = self._machine
+        spec = [0] * len(SPEC_FIELDS)
+        if m._engines is not None:
+            for engine in m._engines:
+                stats = engine.stats
+                for i, name in enumerate(SPEC_FIELDS):
+                    spec[i] += getattr(stats, name)
+        self._snaps.append(
+            (
+                m.events.now,
+                [c.processor.stall_cycles for c in m._nodes],
+                [c.processor.sync_cycles for c in m._nodes],
+                m.stats.as_dict(),
+                spec,
+            )
+        )
+
+    def build(self, result: "RunResult", events: int) -> TimingTrace:
+        """Finalize against the completed run's :class:`RunResult`.
+
+        The final macro step is diffed against ``result`` itself (not a
+        live snapshot): ``result.speculation`` includes the end-of-run
+        unreferenced-copy feedback applied during collection, and
+        ``result.cycles`` is the last processor's finish time, so the
+        column sums land exactly on the collected totals.
+        """
+        m = self._machine
+        final_counters = m.stats.as_dict()
+        final_spec = [
+            getattr(result.speculation, name) for name in SPEC_FIELDS
+        ]
+        self._snaps.append(
+            (
+                result.cycles,
+                [c.processor.stall_cycles for c in m._nodes],
+                [c.processor.sync_cycles for c in m._nodes],
+                final_counters,
+                final_spec,
+            )
+        )
+
+        counter_names = sorted(final_counters)
+        counter_code = {name: i for i, name in enumerate(counter_names)}
+        steps = len(self._snaps) - 1
+        num_nodes = m.config.num_nodes
+        step_cycles = np.zeros(steps, dtype=np.int64)
+        stall = np.zeros((steps, num_nodes), dtype=np.int64)
+        sync = np.zeros((steps, num_nodes), dtype=np.int64)
+        c_steps: list[int] = []
+        c_codes: list[int] = []
+        c_deltas: list[int] = []
+        s_steps: list[int] = []
+        s_codes: list[int] = []
+        s_deltas: list[int] = []
+        for step in range(steps):
+            now0, stall0, sync0, counters0, spec0 = self._snaps[step]
+            now1, stall1, sync1, counters1, spec1 = self._snaps[step + 1]
+            step_cycles[step] = now1 - now0
+            for node in range(num_nodes):
+                stall[step, node] = stall1[node] - stall0[node]
+                sync[step, node] = sync1[node] - sync0[node]
+            for name, value in counters1.items():
+                delta = value - counters0.get(name, 0)
+                if delta:
+                    c_steps.append(step)
+                    c_codes.append(counter_code[name])
+                    c_deltas.append(delta)
+            for code in range(len(SPEC_FIELDS)):
+                delta = spec1[code] - spec0[code]
+                if delta:
+                    s_steps.append(step)
+                    s_codes.append(code)
+                    s_deltas.append(delta)
+
+        kind_names = sorted(m._request_blocks)
+        block_kinds: list[int] = []
+        block_ids: list[int] = []
+        for code, kind in enumerate(kind_names):
+            for block in sorted(m._request_blocks[kind]):
+                block_kinds.append(code)
+                block_ids.append(block)
+
+        return TimingTrace(
+            mode=m.mode.value,
+            num_nodes=num_nodes,
+            cycles=result.cycles,
+            events=events,
+            counter_names=counter_names,
+            kind_names=kind_names,
+            step_cycles=step_cycles,
+            stall=stall,
+            sync=sync,
+            counter_steps=np.asarray(c_steps, dtype=np.int64),
+            counter_codes=np.asarray(c_codes, dtype=np.int64),
+            counter_deltas=np.asarray(c_deltas, dtype=np.int64),
+            spec_steps=np.asarray(s_steps, dtype=np.int64),
+            spec_codes=np.asarray(s_codes, dtype=np.int64),
+            spec_deltas=np.asarray(s_deltas, dtype=np.int64),
+            block_kinds=np.asarray(block_kinds, dtype=np.int64),
+            block_ids=np.asarray(block_ids, dtype=np.int64),
+        )

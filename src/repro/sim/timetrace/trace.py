@@ -1,0 +1,207 @@
+"""The macro-step timing trace: columnar record of one Machine run.
+
+A timing run is deterministic given the workload, configuration, mode,
+and speculation depth, so the whole run can be recorded once and
+replayed without dispatching a single event.  The unit of recording is
+the **macro step** — the stretch of simulated time between consecutive
+global barrier firings (plus one final step from the last barrier to
+run completion).  Per step the trace stores, as flat numpy columns:
+
+* the cycle delta the step advanced the clock by,
+* per-node stall and sync cycle increments,
+* sparse ``(step, counter, delta)`` triples for every named counter,
+* sparse ``(step, field, delta)`` triples for the speculation stats,
+
+plus the distinct ``(kind, block)`` pairs the home directories
+serviced (the ``req_<kind>_blocks`` counters are set cardinalities,
+not additive, so the sets themselves are what must be recorded).
+
+:meth:`TimingTrace.replay` batch-applies the columns — numpy
+reductions, no event loop — and reconstructs a
+:class:`~repro.sim.machine.RunResult` bit-identical to the run that
+was recorded.  The payload codec (:meth:`as_payload` /
+:meth:`from_payload`) is plain JSON lists so traces travel through the
+content-addressed trace cache exactly like compiled accuracy traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.canonical import canonical_hash
+from repro.sim.machine import MachineMode, RunResult
+from repro.speculation.engine import SpeculationStats
+
+#: Bumped when the payload layout changes; keys every cached trace so
+#: stale payloads miss instead of mis-decoding.
+TIMETRACE_SCHEMA = 1
+
+#: SpeculationStats field order used by the ``spec_*`` columns.
+SPEC_FIELDS: tuple[str, ...] = tuple(SpeculationStats.__dataclass_fields__)
+
+_COLUMNS = (
+    "step_cycles",
+    "stall",
+    "sync",
+    "counter_steps",
+    "counter_codes",
+    "counter_deltas",
+    "spec_steps",
+    "spec_codes",
+    "spec_deltas",
+    "block_kinds",
+    "block_ids",
+)
+
+
+@dataclass(slots=True)
+class TimingTrace:
+    """One recorded run, ready to replay or to serialize."""
+
+    mode: str
+    num_nodes: int
+    cycles: int
+    #: Events the recorded run processed — documentation/meta only; a
+    #: replay never dispatches them.
+    events: int
+    counter_names: list[str]
+    kind_names: list[str]
+    step_cycles: np.ndarray
+    stall: np.ndarray  # (steps, num_nodes)
+    sync: np.ndarray  # (steps, num_nodes)
+    counter_steps: np.ndarray
+    counter_codes: np.ndarray
+    counter_deltas: np.ndarray
+    spec_steps: np.ndarray
+    spec_codes: np.ndarray
+    spec_deltas: np.ndarray
+    block_kinds: np.ndarray
+    block_ids: np.ndarray
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self) -> RunResult:
+        """Reconstruct the recorded run's :class:`RunResult` in batch."""
+        cycles = int(self.cycles)
+        stall = int(self.stall.sum())
+        sync = int(self.sync.sum())
+        total = cycles * self.num_nodes
+
+        counters: dict[str, int] = {}
+        if len(self.counter_names):
+            sums = np.zeros(len(self.counter_names), dtype=np.int64)
+            np.add.at(sums, self.counter_codes, self.counter_deltas)
+            for code, name in enumerate(self.counter_names):
+                value = int(sums[code])
+                if value:
+                    counters[name] = value
+        if len(self.kind_names):
+            per_kind = np.bincount(
+                self.block_kinds, minlength=len(self.kind_names)
+            )
+            for code, kind in enumerate(self.kind_names):
+                counters[f"req_{kind}_blocks"] = int(per_kind[code])
+
+        spec = SpeculationStats()
+        if len(self.spec_codes):
+            spec_sums = np.zeros(len(SPEC_FIELDS), dtype=np.int64)
+            np.add.at(spec_sums, self.spec_codes, self.spec_deltas)
+            for code, field_name in enumerate(SPEC_FIELDS):
+                setattr(spec, field_name, int(spec_sums[code]))
+
+        reads = counters.get("req_read", 0)
+        writes = counters.get("req_write", 0) + counters.get("req_upgrade", 0)
+        return RunResult(
+            mode=MachineMode(self.mode),
+            cycles=cycles,
+            compute_cycles=total - stall - sync,
+            stall_cycles=stall,
+            sync_cycles=sync,
+            read_requests=reads,
+            write_requests=writes,
+            counters=counters,
+            speculation=spec,
+        )
+
+    # ------------------------------------------------------------------
+    # codec
+    # ------------------------------------------------------------------
+    def as_payload(self) -> dict:
+        """JSON-representable columnar form (cache entry body)."""
+        payload: dict = {
+            "schema": TIMETRACE_SCHEMA,
+            "mode": self.mode,
+            "num_nodes": self.num_nodes,
+            "cycles": self.cycles,
+            "events": self.events,
+            "counter_names": list(self.counter_names),
+            "kind_names": list(self.kind_names),
+        }
+        for name in _COLUMNS:
+            payload[name] = getattr(self, name).tolist()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TimingTrace":
+        """Decode a cached payload; raises on any malformed entry.
+
+        ``KeyError`` / ``TypeError`` / ``ValueError`` all mean "treat
+        as a cache miss and re-record" to callers.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError("timing-trace payload must be a JSON object")
+        if payload.get("schema") != TIMETRACE_SCHEMA:
+            raise ValueError(
+                f"timing-trace schema {payload.get('schema')!r} != "
+                f"{TIMETRACE_SCHEMA}"
+            )
+        MachineMode(payload["mode"])  # unknown mode -> ValueError
+        columns = {
+            name: np.asarray(payload[name], dtype=np.int64)
+            for name in _COLUMNS
+        }
+        steps = len(columns["step_cycles"])
+        num_nodes = int(payload["num_nodes"])
+        for name in ("stall", "sync"):
+            if columns[name].shape != (steps, num_nodes):
+                # reshape(0, n) keeps the zero-step corner decodable
+                if steps == 0 and columns[name].size == 0:
+                    columns[name] = columns[name].reshape(0, num_nodes)
+                else:
+                    raise ValueError(f"column {name!r} shape mismatch")
+        trace = cls(
+            mode=str(payload["mode"]),
+            num_nodes=num_nodes,
+            cycles=int(payload["cycles"]),
+            events=int(payload["events"]),
+            counter_names=[str(n) for n in payload["counter_names"]],
+            kind_names=[str(n) for n in payload["kind_names"]],
+            **columns,
+        )
+        if len(trace.counter_codes) and len(trace.counter_names) == 0:
+            raise ValueError("counter codes without a name table")
+        if np.any(trace.spec_codes >= len(SPEC_FIELDS)) or np.any(
+            trace.spec_codes < 0
+        ):
+            raise ValueError("speculation field code out of range")
+        if len(trace.counter_codes) and (
+            np.any(trace.counter_codes >= len(trace.counter_names))
+            or np.any(trace.counter_codes < 0)
+        ):
+            raise ValueError("counter code out of range")
+        if len(trace.block_kinds) and (
+            np.any(trace.block_kinds >= len(trace.kind_names))
+            or np.any(trace.block_kinds < 0)
+        ):
+            raise ValueError("request-kind code out of range")
+        return trace
+
+    def content_hash(self) -> str:
+        return canonical_hash(self.as_payload())
+
+    def __len__(self) -> int:
+        """Macro steps recorded."""
+        return len(self.step_cycles)

@@ -214,6 +214,48 @@ class TestSweepSubcommand:
         assert cli_main(argv) == 1
         assert "invalid sweep parameters" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("kind", ["speculation", "accuracy"])
+    def test_unknown_engine_fails_fast_with_menu(self, capsys, tmp_path, kind):
+        """An invalid --set engine= dies before any point runs, naming
+        the valid engines, instead of erroring mid-sweep."""
+        argv = [
+            "sweep",
+            "--kind",
+            kind,
+            "--axis",
+            "app=em3d,moldyn",
+            "--set",
+            "engine=bogus",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no point was executed or printed
+        assert "bogus" in captured.err
+        assert "reference" in captured.err  # the menu of valid engines
+        assert not list(tmp_path.glob(f"{kind}/*.json"))
+
+    def test_valid_engine_accepted(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--kind",
+            "speculation",
+            "--axis",
+            "app=em3d",
+            "--set",
+            "iterations=2",
+            "--set",
+            "engine=compiled",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        import json
+
+        point = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert point["result"]["modes"]["Base-DSM"]["normalized"] == 1.0
+
     def test_cache_dir_env_var_resolved_at_call_time(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         assert cli_main(["figure6"]) == 0

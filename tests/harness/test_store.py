@@ -41,6 +41,43 @@ class TestRoundTrip:
         assert len(store) == 1
 
 
+class TestKeyNeutralParams:
+    """``engine`` never addresses a cache entry: the timing and trace
+    engines are bit-identical by golden-equivalence contract, so a
+    point computed by any engine is reused by all of them."""
+
+    @pytest.mark.parametrize("kind", ["speculation", "accuracy"])
+    def test_engine_excluded_from_key(self, tmp_path, kind):
+        store = ResultStore(tmp_path)
+        base = {"app": "em3d", "iterations": 2}
+        plain = SweepPoint.make(kind, base)
+        keyed = [
+            SweepPoint.make(kind, {**base, "engine": engine})
+            for engine in ("fast", "compiled", "reference")
+        ]
+        for point in keyed:
+            assert store.key_for(point) == store.key_for(plain)
+            assert store.path_for(point) == store.path_for(plain)
+
+    def test_engine_sharing_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fast = SweepPoint.make("speculation", {"app": "em3d", "engine": "fast"})
+        ref = SweepPoint.make(
+            "speculation", {"app": "em3d", "engine": "reference"}
+        )
+        store.store(fast, {"cycles": 123})
+        assert store.load(ref) == {"cycles": 123}
+        # The stored entry still records the params that computed it.
+        entry = json.loads(store.path_for(ref).read_text())
+        assert entry["params"]["engine"] == "fast"
+
+    def test_other_kinds_keep_engine_in_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = SweepPoint.make("selftest", {"payload": 1, "engine": "fast"})
+        b = SweepPoint.make("selftest", {"payload": 1, "engine": "reference"})
+        assert store.key_for(a) != store.key_for(b)
+
+
 class TestInvalidation:
     def test_different_params_different_entries(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -1,12 +1,16 @@
-"""Golden equivalence suite: fast timing engine vs reference engine.
+"""Golden equivalence suite: every timing engine vs the reference.
 
-The calendar-queue engine (``Machine(engine="fast")``) is allowed to
-replace the heapq reference only because it is provably the same
+The calendar-queue engine (``Machine(engine="fast")``) and the
+trace-compiling engine (``engine="compiled"``) are allowed to replace
+the heapq reference only because they are provably the same
 simulation.  This suite runs **all 7 applications × all 4 machine
-modes** on both engines at reduced iterations and asserts the entire
+modes** on every engine at reduced iterations and asserts the entire
 :class:`~repro.sim.machine.RunResult` — cycles, the time breakdown,
-request counters, and every speculation statistic — is bit-identical,
-plus a repeat-run determinism check at a fixed seed.
+request counters, and every speculation statistic — is bit-identical.
+The compiled engine is exercised on *both* of its paths: the recording
+run (cache miss, live simulation) and the replay (cache hit, batch
+reconstruction from the macro-step trace), plus a repeat-run
+determinism check at a fixed seed.
 
 Timing results feed Figure 9 and Table 5 directly, so any divergence
 here would silently corrupt paper figures; that is why this suite is
@@ -20,6 +24,7 @@ import pytest
 from repro.apps.registry import APP_NAMES, make_app
 from repro.common.config import SystemConfig
 from repro.sim.machine import Machine, MachineMode, RunResult
+from repro.sim.timetrace import reset_timetrace_memo
 
 #: Small but non-trivial workloads: every app still exercises barriers,
 #: locks (where present), write-invalidation chains, and speculation.
@@ -71,8 +76,23 @@ class TestEngineEquivalence:
         reference = run_once(app, mode, "reference")
         assert_identical(fast, reference)
 
+    def test_compiled_record_and_replay_bit_identical(self, app, mode):
+        """Both compiled paths against the reference.
 
-@pytest.mark.parametrize("engine", ["fast", "reference"])
+        The first run misses (no memoized trace) and records the live
+        simulation; the second hits the in-process memo and replays the
+        macro-step trace in batch.  Either path producing anything but
+        the reference RunResult corrupts Figure 9 / Table 5 silently.
+        """
+        reset_timetrace_memo()
+        reference = run_once(app, mode, "reference")
+        recorded = run_once(app, mode, "compiled")
+        replayed = run_once(app, mode, "compiled")
+        assert_identical(recorded, reference)
+        assert_identical(replayed, reference)
+
+
+@pytest.mark.parametrize("engine", ["fast", "compiled", "reference"])
 def test_repeat_run_determinism(engine):
     """The same seed must reproduce the same RunResult, twice over."""
     first = run_once("em3d", MachineMode.SWI, engine)
@@ -80,14 +100,16 @@ def test_repeat_run_determinism(engine):
     assert_identical(first, second)
 
 
-def test_run_speculation_engine_equivalence():
+@pytest.mark.parametrize("engine", ["fast", "compiled"])
+def test_run_speculation_engine_equivalence(engine):
     """The eval-layer entry point threads the switch through intact."""
     from repro.eval.performance import run_speculation
 
-    fast = run_speculation("tomcatv", iterations=ITERATIONS, engine="fast")
+    reset_timetrace_memo()
+    run = run_speculation("tomcatv", iterations=ITERATIONS, engine=engine)
     reference = run_speculation(
         "tomcatv", iterations=ITERATIONS, engine="reference"
     )
     for mode in (MachineMode.BASE, MachineMode.FR, MachineMode.SWI):
-        assert_identical(fast.result(mode), reference.result(mode))
-    assert fast.table5_row() == reference.table5_row()
+        assert_identical(run.result(mode), reference.result(mode))
+    assert run.table5_row() == reference.table5_row()

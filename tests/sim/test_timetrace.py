@@ -1,0 +1,308 @@
+"""The compiled timing engine: record/replay, codec, cache behavior.
+
+The golden equivalence suite (``test_engine_equivalence``) proves the
+compiled engine bit-identical to the reference across the paper's whole
+app × mode grid; this module covers the machinery around that claim —
+the payload codec rejects malformed entries, the cache address reacts
+to every run parameter, corrupt or stale disk entries fall back to a
+live run, and bounded/deadlocked runs keep live-engine semantics.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps.base import WorkloadBuilder
+from repro.common.config import SystemConfig
+from repro.sim.machine import EventBudgetExhausted, Machine, MachineMode
+from repro.sim.timetrace import (
+    TimingTrace,
+    reset_timetrace_memo,
+    timetrace_point,
+    workload_fingerprint,
+)
+from repro.trace.cache import configure_trace_cache, timetrace_store
+
+NUM_PROCS = 4
+
+
+@pytest.fixture(autouse=True)
+def fresh_timetrace_state():
+    """No memoized traces or configured cache dir leaks between tests."""
+    reset_timetrace_memo()
+    configure_trace_cache(None)
+    yield
+    reset_timetrace_memo()
+    configure_trace_cache(None)
+
+
+def small_workload(tag="w", num_procs=NUM_PROCS, extra_compute=0):
+    """A tiny two-phase workload with sharing, enough to speculate on."""
+    b = WorkloadBuilder(tag, num_procs)
+    block = 1 << 24  # home node 1
+    other = 2 << 24
+    with b.phase("produce"):
+        b.write(0, block)
+        b.compute(0, 10 + extra_compute)
+        b.write(1, other)
+    with b.phase("consume", racy_reads=True):
+        for p in range(num_procs):
+            b.read(p, block)
+            b.compute(p, 5)
+        b.read(0, other)
+    with b.phase("again"):
+        b.write(2, block)
+        for p in range(num_procs):
+            b.read(p, block)
+    return b.finish()
+
+
+def machine_for(workload, mode=MachineMode.SWI, engine="compiled", **kwargs):
+    return Machine(
+        workload,
+        config=kwargs.pop("config", SystemConfig(num_nodes=workload.num_procs)),
+        mode=mode,
+        engine=engine,
+        **kwargs,
+    )
+
+
+def run_reference(workload, mode=MachineMode.SWI):
+    return machine_for(workload, mode=mode, engine="reference").run()
+
+
+class TestRecordReplay:
+    def test_record_then_memo_replay_identical(self):
+        workload = small_workload()
+        reference = run_reference(workload)
+        recorded = machine_for(workload).run()  # miss: records live
+        replayed = machine_for(workload).run()  # hit: replays from memo
+        assert dataclasses.asdict(recorded) == dataclasses.asdict(reference)
+        assert dataclasses.asdict(replayed) == dataclasses.asdict(reference)
+
+    def test_replay_reconstructs_native_types(self):
+        workload = small_workload()
+        machine_for(workload).run()
+        result = machine_for(workload).run()  # memo replay
+        assert type(result.cycles) is int
+        assert type(result.stall_cycles) is int
+        assert all(type(v) is int for v in result.counters.values())
+        assert isinstance(result.mode, MachineMode)
+
+    def test_payload_roundtrip_bit_exact(self):
+        workload = small_workload()
+        machine = machine_for(workload)
+        result = machine.run()
+        point = timetrace_point(machine)
+        from repro.sim.timetrace.cache import _memo
+
+        trace = _memo[point.key]
+        # JSON round trip mirrors the on-disk cache path exactly.
+        decoded = TimingTrace.from_payload(
+            json.loads(json.dumps(trace.as_payload()))
+        )
+        assert decoded.content_hash() == trace.content_hash()
+        assert dataclasses.asdict(decoded.replay()) == dataclasses.asdict(result)
+
+    def test_trace_counts_macro_steps_and_events(self):
+        workload = small_workload()
+        machine = machine_for(workload)
+        machine.run()
+        from repro.sim.timetrace.cache import _memo
+
+        trace = _memo[timetrace_point(machine).key]
+        # 3 phases -> 3 barrier firings, plus the final step to finish.
+        assert len(trace) == 4
+        assert trace.events == machine.events_processed > 0
+
+
+class TestCodecValidation:
+    def payload(self):
+        workload = small_workload()
+        machine = machine_for(workload)
+        machine.run()
+        from repro.sim.timetrace.cache import _memo
+
+        return _memo[timetrace_point(machine).key].as_payload()
+
+    def test_wrong_schema_rejected(self):
+        payload = self.payload()
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            TimingTrace.from_payload(payload)
+
+    def test_unknown_mode_rejected(self):
+        payload = self.payload()
+        payload["mode"] = "Bogus-DSM"
+        with pytest.raises(ValueError):
+            TimingTrace.from_payload(payload)
+
+    def test_missing_column_rejected(self):
+        payload = self.payload()
+        del payload["step_cycles"]
+        with pytest.raises(KeyError):
+            TimingTrace.from_payload(payload)
+
+    def test_shape_mismatch_rejected(self):
+        payload = self.payload()
+        payload["stall"] = [row[:-1] for row in payload["stall"]]
+        with pytest.raises(ValueError):
+            TimingTrace.from_payload(payload)
+
+    def test_out_of_range_counter_code_rejected(self):
+        payload = self.payload()
+        if not payload["counter_codes"]:
+            pytest.skip("workload produced no counters")
+        payload["counter_codes"][0] = len(payload["counter_names"])
+        with pytest.raises(ValueError):
+            TimingTrace.from_payload(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(TypeError):
+            TimingTrace.from_payload([1, 2, 3])
+
+
+class TestCacheAddressing:
+    """Every parameter that can change the run must change the address."""
+
+    def test_mode_changes_key(self):
+        workload = small_workload()
+        swi = timetrace_point(machine_for(workload, mode=MachineMode.SWI))
+        base = timetrace_point(machine_for(workload, mode=MachineMode.BASE))
+        assert swi.key != base.key
+
+    def test_spec_depth_changes_key(self):
+        workload = small_workload()
+        d1 = timetrace_point(machine_for(workload, spec_depth=1))
+        d2 = timetrace_point(machine_for(workload, spec_depth=2))
+        assert d1.key != d2.key
+
+    def test_config_field_changes_key(self):
+        workload = small_workload()
+        slow = SystemConfig(num_nodes=NUM_PROCS, network_cycles=160)
+        a = timetrace_point(machine_for(workload))
+        b = timetrace_point(machine_for(workload, config=slow))
+        assert a.key != b.key
+
+    def test_workload_content_changes_key(self):
+        a = timetrace_point(machine_for(small_workload()))
+        b = timetrace_point(machine_for(small_workload(extra_compute=1)))
+        assert a.key != b.key
+
+    def test_workload_fingerprint_stable_across_builds(self):
+        assert workload_fingerprint(small_workload()) == workload_fingerprint(
+            small_workload()
+        )
+
+    def test_trace_key_overrides_content_fingerprint(self):
+        workload = small_workload()
+        key = {"app": "em3d", "num_procs": NUM_PROCS, "iterations": 2, "seed": 1}
+        named = timetrace_point(machine_for(workload, trace_key=key))
+        assert named.as_dict()["app"] == "em3d"
+        assert "workload" not in named.as_dict()
+        # Any app-parameter change re-addresses the trace.
+        for field, value in (
+            ("app", "moldyn"),
+            ("num_procs", NUM_PROCS + 1),
+            ("iterations", 3),
+            ("seed", 2),
+        ):
+            changed = timetrace_point(
+                machine_for(workload, trace_key={**key, field: value})
+            )
+            assert changed.key != named.key, field
+
+
+class TestDiskCache:
+    def test_miss_records_then_disk_hit_replays(self, tmp_path):
+        configure_trace_cache(tmp_path)
+        workload = small_workload()
+        reference = run_reference(workload)
+        recorded = machine_for(workload).run()
+        stored = list(tmp_path.glob("timetrace/*.json"))
+        assert len(stored) == 1
+        reset_timetrace_memo()  # force the disk path, not the memo
+        replayed = machine_for(workload).run()
+        assert dataclasses.asdict(recorded) == dataclasses.asdict(reference)
+        assert dataclasses.asdict(replayed) == dataclasses.asdict(reference)
+
+    def test_corrupt_entry_falls_back_to_live_run(self, tmp_path):
+        configure_trace_cache(tmp_path)
+        workload = small_workload()
+        expected = machine_for(workload).run()
+        [entry] = tmp_path.glob("timetrace/*.json")
+        entry.write_text("{not json")
+        reset_timetrace_memo()
+        result = machine_for(workload).run()  # re-records live
+        assert dataclasses.asdict(result) == dataclasses.asdict(expected)
+        # ... and the re-record repaired the entry.
+        json.loads(entry.read_text())
+
+    def test_stale_schema_misses(self, tmp_path):
+        configure_trace_cache(tmp_path)
+        workload = small_workload()
+        expected = machine_for(workload).run()
+        [entry] = tmp_path.glob("timetrace/*.json")
+        body = json.loads(entry.read_text())
+        body["result"]["schema"] = 0  # a payload an older layout wrote
+        entry.write_text(json.dumps(body))
+        reset_timetrace_memo()
+        result = machine_for(workload).run()
+        assert dataclasses.asdict(result) == dataclasses.asdict(expected)
+
+    def test_fingerprint_separates_trace_families(self, tmp_path):
+        configure_trace_cache(tmp_path)
+        store = timetrace_store()
+        assert store.fingerprint["timetrace_schema"] == 1
+        assert "trace_schema" not in store.fingerprint
+
+    def test_no_cache_dir_still_replays_via_memo(self):
+        workload = small_workload()
+        first = machine_for(workload).run()
+        machine = machine_for(workload)
+        second = machine.run()
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        assert machine.events_processed == 0  # replay dispatched nothing
+
+
+class TestLiveSemanticsPreserved:
+    def test_bounded_run_bypasses_cache(self):
+        workload = small_workload()
+        machine_for(workload).run()  # populate the memo
+        with pytest.raises(EventBudgetExhausted):
+            machine_for(workload).run(max_events=3)
+
+    def test_budget_exhaustion_matches_fast_engine(self):
+        workload = small_workload()
+        with pytest.raises(EventBudgetExhausted):
+            machine_for(workload, engine="fast").run(max_events=3)
+        with pytest.raises(EventBudgetExhausted):
+            machine_for(workload).run(max_events=3)
+
+    def deadlocked_workload(self):
+        """Two processors acquire the same lock; one never releases."""
+        b = WorkloadBuilder("deadlock", NUM_PROCS)
+        with b.phase("stuck"):
+            b.lock(0, 7)  # held forever
+            b.lock(1, 7)
+            b.unlock(1, 7)
+        return b.finish()
+
+    def test_deadlock_raises_and_stores_nothing(self, tmp_path):
+        configure_trace_cache(tmp_path)
+        workload = self.deadlocked_workload()
+        with pytest.raises(RuntimeError, match="deadlock"):
+            machine_for(workload).run()
+        assert not list(tmp_path.glob("timetrace/*.json"))
+        from repro.sim.timetrace.cache import _memo
+
+        assert not _memo
+
+    def test_memo_bounded(self):
+        from repro.sim.timetrace import cache as ttcache
+
+        for i in range(ttcache._MEMO_LIMIT + 5):
+            ttcache._memoize(f"key-{i}", object())
+        assert len(ttcache._memo) == ttcache._MEMO_LIMIT
+        assert "key-0" not in ttcache._memo  # oldest evicted first

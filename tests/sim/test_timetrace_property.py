@@ -1,0 +1,85 @@
+"""Property tests: the compiled engine equals the fast engine on
+arbitrary workloads, not just the seven paper applications.
+
+Each example drives one randomly generated (deadlock-free) workload
+through the fast engine and through both compiled paths — the
+recording run and the memo replay — and asserts the RunResults are
+bit-identical.  Separate properties pin the corner semantics: bounded
+runs raise :class:`~repro.sim.machine.EventBudgetExhausted` exactly as
+the fast engine does, and deadlocked workloads diagnose a deadlock on
+every engine without ever storing a trace.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.sim.machine import EventBudgetExhausted, Machine, MachineMode
+from repro.sim.timetrace import reset_timetrace_memo
+from tests.strategies.settings import QUICK_SETTINGS
+from tests.strategies.sim import workloads
+
+MODES = st.sampled_from(list(MachineMode))
+
+
+def run(workload, mode, engine, max_events=None):
+    machine = Machine(
+        workload,
+        config=SystemConfig(num_nodes=workload.num_procs),
+        mode=mode,
+        engine=engine,
+    )
+    return machine.run(max_events=max_events)
+
+
+@given(workload=workloads(), mode=MODES)
+@QUICK_SETTINGS
+def test_compiled_equals_fast_on_random_workloads(workload, mode):
+    reset_timetrace_memo()
+    fast = run(workload, mode, "fast")
+    recorded = run(workload, mode, "compiled")
+    replayed = run(workload, mode, "compiled")
+    assert dataclasses.asdict(recorded) == dataclasses.asdict(fast)
+    assert dataclasses.asdict(replayed) == dataclasses.asdict(fast)
+
+
+@given(workload=workloads(), mode=MODES, budget=st.integers(1, 30))
+@QUICK_SETTINGS
+def test_bounded_runs_agree_with_fast_engine(workload, mode, budget):
+    """A tiny event budget either exhausts on both engines or completes
+    identically on both — the compiled engine never replays a bounded
+    run, so the budget semantics are the live engine's."""
+    reset_timetrace_memo()
+    outcomes = []
+    for engine in ("fast", "compiled"):
+        try:
+            outcomes.append(dataclasses.asdict(run(workload, mode, engine, budget)))
+        except EventBudgetExhausted:
+            outcomes.append("exhausted")
+    assert outcomes[0] == outcomes[1]
+
+
+@given(workload=workloads(max_phases=1), mode=MODES)
+@QUICK_SETTINGS
+def test_deadlocks_diagnosed_on_every_engine(workload, mode):
+    """Grafting a never-released lock contention onto any workload
+    deadlocks it; all three engines must say so, and the compiled
+    engine must not memoize a trace for the doomed run."""
+    from repro.apps.base import LockAcquire
+
+    stuck_lock = 99
+    first_phase = workload.phases[0]
+    first_phase.ops[0].insert(0, LockAcquire(stuck_lock))
+    first_phase.ops[1].insert(0, LockAcquire(stuck_lock))
+    workload.locks.add(stuck_lock)
+
+    reset_timetrace_memo()
+    for engine in ("fast", "compiled", "reference"):
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run(workload, mode, engine)
+    from repro.sim.timetrace.cache import _memo
+
+    assert not _memo

@@ -31,6 +31,68 @@ def block_ids(
     )
 
 
+def workloads(
+    max_procs: int = 4, max_phases: int = 3, max_items: int = 5
+) -> st.SearchStrategy:
+    """A random, deadlock-free :class:`~repro.apps.base.Workload`.
+
+    Per phase and processor the strategy draws a short sequence of
+    items — compute bursts, reads/writes of a deliberately tiny block
+    space (so processors actually share), and lock critical sections.
+    Locks are emitted as self-contained acquire/body/release triples
+    and never nest, so generated workloads cannot deadlock: every
+    processor always reaches the phase barrier.
+    """
+    from repro.apps.base import WorkloadBuilder
+
+    def build(draw_spec):
+        num_procs, phase_specs = draw_spec
+        builder = WorkloadBuilder("hypothesis", num_procs)
+        for p_index, (racy, proc_items) in enumerate(phase_specs):
+            with builder.phase(f"phase{p_index}", racy_reads=racy):
+                for proc, items in enumerate(proc_items):
+                    for kind, block, cycles, lock in items:
+                        if kind == "c":
+                            builder.compute(proc, cycles)
+                        elif kind == "r":
+                            builder.read(proc, block)
+                        elif kind == "w":
+                            builder.write(proc, block)
+                        else:  # non-nesting critical section
+                            builder.lock(proc, lock)
+                            builder.write(proc, block)
+                            builder.unlock(proc, lock)
+        return builder.finish()
+
+    def specs(num_procs):
+        # A tiny block space shared by all processors: home node in
+        # range, two heap slots per home.
+        item = st.tuples(
+            st.sampled_from(["c", "r", "w", "l"]),
+            block_ids(num_procs, heap_blocks=2),
+            st.integers(min_value=1, max_value=40),
+            st.integers(min_value=0, max_value=1),
+        )
+        phase = st.tuples(
+            st.booleans(),
+            st.lists(
+                st.lists(item, max_size=max_items),
+                min_size=num_procs,
+                max_size=num_procs,
+            ),
+        )
+        return st.tuples(
+            st.just(num_procs),
+            st.lists(phase, min_size=1, max_size=max_phases),
+        )
+
+    return (
+        st.integers(min_value=2, max_value=max_procs)
+        .flatmap(specs)
+        .map(build)
+    )
+
+
 def seeds() -> st.SearchStrategy:
     """An experiment seed: ints and strings are both accepted."""
     return st.one_of(
