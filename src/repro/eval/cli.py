@@ -43,6 +43,14 @@ with request coalescing (see ``docs/service.md``)::
 
     repro-paper serve --port 8599 --jobs 2
     curl 'http://127.0.0.1:8599/v1/point?kind=accuracy&app=em3d&depth=2'
+
+The ``session`` subcommand streams an application's coherence-message
+trace through a live prediction session on such a server and prints
+the final summary — whose ``run`` object is byte-identical to the
+matching batch sweep point::
+
+    repro-paper session --url http://127.0.0.1:8599 \\
+        --app em3d --predictor MSP --depth 2 --num-procs 4
 """
 
 from __future__ import annotations
@@ -371,6 +379,7 @@ def _serve_main(argv: list[str]) -> int:
             "instantly, misses are computed in a worker pool with "
             "request coalescing.  Endpoints: GET /v1/point, "
             "POST /v1/sweep, GET /v1/jobs/<id>, GET /v1/experiments, "
+            "POST /v1/sessions (streaming prediction sessions), "
             "GET /healthz, GET /statz.  See docs/service.md."
         ),
     )
@@ -396,10 +405,46 @@ def _serve_main(argv: list[str]) -> int:
         help="per-request compute timeout (responses 504 past it; "
         "the computation finishes and is cached anyway)",
     )
+    from repro.service.sessions import (
+        DEFAULT_MAX_EVENTS,
+        DEFAULT_MAX_SESSIONS,
+        DEFAULT_SESSION_TTL_S,
+    )
+
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=DEFAULT_MAX_SESSIONS,
+        metavar="N",
+        help="live streaming-session bound before POST /v1/sessions "
+        f"gets 429 (default {DEFAULT_MAX_SESSIONS})",
+    )
+    parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=DEFAULT_SESSION_TTL_S,
+        metavar="SECONDS",
+        help="idle time before a session is reaped "
+        f"(default {DEFAULT_SESSION_TTL_S:.0f}s)",
+    )
+    parser.add_argument(
+        "--session-max-events",
+        type=int,
+        default=DEFAULT_MAX_EVENTS,
+        metavar="N",
+        help="per-session event bound before batches get 413 "
+        f"(default {DEFAULT_MAX_EVENTS})",
+    )
     _add_harness_options(parser)
     args = parser.parse_args(argv)
     if args.max_pending < 1:
         parser.error("--max-pending must be >= 1")
+    if args.max_sessions < 1:
+        parser.error("--max-sessions must be >= 1")
+    if args.session_ttl <= 0:
+        parser.error("--session-ttl must be > 0 seconds")
+    if args.session_max_events < 1:
+        parser.error("--session-max-events must be >= 1")
     _validate_claim_options(args, parser)
 
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
@@ -414,6 +459,9 @@ def _serve_main(argv: list[str]) -> int:
         claim_dir=args.claim_dir,
         worker_id=args.worker_id,
         claim_ttl_s=args.claim_ttl,
+        max_sessions=args.max_sessions,
+        session_ttl_s=args.session_ttl,
+        session_max_events=args.session_max_events,
     )
 
     def announce(service) -> None:
@@ -422,12 +470,157 @@ def _serve_main(argv: list[str]) -> int:
     return run_service(config, announce)
 
 
+def _session_main(argv: list[str]) -> int:
+    from repro.service.client import (
+        SessionClientError,
+        load_trace,
+        record_app_trace,
+        replay_session,
+        save_trace,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-paper session",
+        description=(
+            "Stream a coherence-event trace through a live prediction "
+            "session on a repro-paper server (POST /v1/sessions) and "
+            "print the final summary.  The summary's 'run' object is "
+            "byte-identical to the matching batch accuracy point over "
+            "the same trace.  See docs/service.md."
+        ),
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8599", help="server base URL"
+    )
+    parser.add_argument(
+        "--predictor",
+        default="MSP",
+        help="predictor kind for the session (default MSP)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=1, help="history depth (default 1)"
+    )
+    parser.add_argument(
+        "--num-procs",
+        type=int,
+        default=16,
+        metavar="N",
+        help="node count the session validates events against (default 16)",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--app",
+        default=None,
+        help="record the trace from this application kernel "
+        "(the same emulation a batch accuracy point runs)",
+    )
+    source.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay a previously recorded NDJSON trace file instead",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="app iterations when recording (default: the app's paper size)",
+    )
+    parser.add_argument(
+        "--seed", default=1999, help="app workload seed when recording"
+    )
+    parser.add_argument(
+        "--race-seed", default=7, help="protocol race seed when recording"
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="events per streamed NDJSON batch (default 256)",
+    )
+    parser.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="FILE",
+        help="also write the recorded trace as NDJSON to FILE",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each prediction line as it streams back",
+    )
+    args = parser.parse_args(argv)
+    if args.batch < 1:
+        parser.error("--batch must be >= 1")
+    if args.trace is not None and args.save_trace is not None:
+        parser.error("--save-trace only applies when recording with --app")
+    if args.app is None and args.trace is None:
+        parser.error("one of --app or --trace is required")
+
+    if args.trace is not None:
+        try:
+            events = load_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"repro-paper session: error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        try:
+            events = record_app_trace(
+                args.app,
+                num_procs=args.num_procs,
+                iterations=args.iterations,
+                seed=parse_literal(str(args.seed)),
+                race_seed=parse_literal(str(args.race_seed)),
+            )
+        except ValueError as exc:
+            print(f"repro-paper session: error: {exc}", file=sys.stderr)
+            return 1
+        if args.save_trace is not None:
+            save_trace(args.save_trace, events)
+
+    on_line = None
+    if args.progress:
+        on_line = lambda line: print(json.dumps(line, sort_keys=True))  # noqa: E731
+    started = time.perf_counter()
+    try:
+        summary = replay_session(
+            args.url,
+            events,
+            predictor=args.predictor,
+            depth=args.depth,
+            num_procs=args.num_procs,
+            batch_size=args.batch,
+            on_line=on_line,
+        )
+    except SessionClientError as exc:
+        print(f"repro-paper session: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"repro-paper session: error: cannot reach {args.url}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    elapsed = time.perf_counter() - started
+    print(json.dumps(summary, sort_keys=True))
+    print(
+        f"[{len(events)} events streamed in {elapsed:.1f}s "
+        f"({args.predictor} depth={args.depth})]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "session":
+        return _session_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-paper",

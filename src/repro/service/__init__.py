@@ -12,6 +12,10 @@ dependencies):
 * ``POST /v1/sweep``   — submit a whole grid as a background job.
 * ``GET /v1/jobs/...`` — poll job progress and fetch results.
 * ``GET /v1/experiments`` — the named paper figures/tables and kinds.
+* ``POST /v1/sessions`` + ``POST /v1/sessions/<id>/events`` — open a
+  live predictor session and stream NDJSON coherence events through it;
+  predictions stream back chunked, and closing the session reports the
+  same numbers a batch run over the concatenated events produces.
 * ``GET /healthz``, ``GET /statz`` — liveness and serving statistics.
 
 Start it with ``repro-paper serve`` or programmatically::
@@ -34,7 +38,16 @@ from repro.service.jobs import (
     ServiceStats,
     SweepJob,
 )
+from repro.service.client import SessionClient, SessionClientError, replay_session
 from repro.service.server import ReproService, ServiceConfig
+from repro.service.sessions import (
+    PredictorSession,
+    SessionBoundExceeded,
+    SessionError,
+    SessionTable,
+    SessionTableFull,
+    UnknownSession,
+)
 from repro.service.wire import Request, Response, WireError
 
 __all__ = [
@@ -42,12 +55,21 @@ __all__ = [
     "JobTable",
     "PointTimeout",
     "PoolSaturated",
+    "PredictorSession",
     "ReproService",
     "Request",
     "Response",
     "ServiceApp",
     "ServiceConfig",
     "ServiceStats",
+    "SessionBoundExceeded",
+    "SessionClient",
+    "SessionClientError",
+    "SessionError",
+    "SessionTable",
+    "SessionTableFull",
     "SweepJob",
+    "UnknownSession",
     "WireError",
+    "replay_session",
 ]

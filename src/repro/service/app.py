@@ -8,7 +8,9 @@ tests can drive it without a server and the server stays dumb plumbing.
 
 from __future__ import annotations
 
+import json
 import time
+from collections.abc import Callable
 from typing import Any
 
 from repro.common.literals import parse_literal
@@ -20,6 +22,11 @@ from repro.harness import (
     validate_point_params,
 )
 from repro.service.jobs import ComputePool, JobTable, PointTimeout, PoolSaturated
+from repro.service.sessions import (
+    SessionError,
+    SessionTable,
+    parse_ndjson_events,
+)
 from repro.service.wire import Request, Response, error_response
 
 #: Largest grid a single POST /v1/sweep may expand to.
@@ -40,12 +47,22 @@ _CACHE_COUNT_TTL_S = 5.0
 
 
 class ServiceApp:
-    """Routes requests to the shared compute pool and job table."""
+    """Routes requests to the compute pool, job table, and session table."""
 
-    def __init__(self, pool: ComputePool, jobs: JobTable) -> None:
+    def __init__(
+        self,
+        pool: ComputePool,
+        jobs: JobTable,
+        sessions: SessionTable | None = None,
+    ) -> None:
         self.pool = pool
         self.jobs = jobs
+        self.sessions = sessions if sessions is not None else SessionTable()
+        #: Wall time this app came up, reported as a timestamp; uptime
+        #: is measured against the monotonic anchor (an NTP step must
+        #: never make uptime jump or go negative).
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._cache_count: tuple[float, int | None] | None = None
         self._trace_count: tuple[float, int | None] | None = None
 
@@ -53,38 +70,80 @@ class ServiceApp:
         return tuple(k for k in runner_kinds() if k not in UNSERVABLE_KINDS)
 
     # ------------------------------------------------------------------
-    async def handle(self, request: Request) -> Response:
-        route = (request.method, request.path)
-        if request.path == "/healthz":
-            return self._require_get(request, self._healthz)
-        if request.path == "/statz":
-            return self._require_get(request, self._statz)
-        if request.path == "/v1/experiments":
-            return self._require_get(request, self._experiments)
-        if request.path.startswith("/v1/experiments/"):
-            if request.method != "GET":
-                return error_response(405, "use GET /v1/experiments/<name>")
-            return self._run_experiment(request)
-        if request.path == "/v1/point":
-            if request.method != "GET":
-                return error_response(405, "use GET /v1/point")
-            return await self._point(request)
-        if request.path == "/v1/sweep":
-            if request.method != "POST":
-                return error_response(405, "use POST /v1/sweep")
-            return self._sweep(request)
-        if request.path == "/v1/jobs":
-            return self._require_get(request, lambda _r: self._job_list())
-        if request.path.startswith("/v1/jobs/"):
-            if request.method != "GET":
-                return error_response(405, "use GET /v1/jobs/<id>")
-            return self._job_status(request)
-        return error_response(404, f"no such endpoint: {route[0]} {route[1]}")
+    # routing
+    # ------------------------------------------------------------------
+    def _routes(self, path: str) -> dict[str, Callable] | None:
+        """Method → handler map for ``path``, or None (404).
 
-    def _require_get(self, request: Request, handler) -> Response:
-        if request.method != "GET":
-            return error_response(405, f"use GET {request.path}")
-        return handler(request)
+        One table for every route, so the 405 path can always name the
+        allowed methods (RFC 9110 requires ``Allow`` on 405) without
+        each endpoint repeating the logic.
+        """
+        exact: dict[str, dict[str, Callable]] = {
+            "/healthz": {"GET": self._healthz},
+            "/statz": {"GET": self._statz},
+            "/v1/experiments": {"GET": self._experiments},
+            "/v1/point": {"GET": self._point},
+            "/v1/sweep": {"POST": self._sweep},
+            "/v1/jobs": {"GET": lambda _r: self._job_list()},
+            "/v1/sessions": {
+                "GET": self._session_list,
+                "POST": self._open_session,
+            },
+        }
+        if path in exact:
+            return exact[path]
+        if path.startswith("/v1/experiments/"):
+            return {"GET": self._run_experiment}
+        if path.startswith("/v1/jobs/"):
+            return {"GET": self._job_status}
+        if path.startswith("/v1/sessions/"):
+            if path.endswith("/events"):
+                return {"POST": self._session_events}
+            return {
+                "GET": self._session_status,
+                "DELETE": self._close_session,
+            }
+        return None
+
+    async def handle(self, request: Request) -> Response:
+        methods = self._routes(request.path)
+        if methods is None:
+            return error_response(
+                404, f"no such endpoint: {request.method} {request.path}"
+            )
+        handler = methods.get(request.method)
+        if handler is None:
+            return self._method_not_allowed(request, methods)
+        result = handler(request)
+        if hasattr(result, "__await__"):
+            return await result
+        return result
+
+    @staticmethod
+    def _method_not_allowed(
+        request: Request, methods: dict[str, Callable]
+    ) -> Response:
+        allow = ", ".join(sorted(methods))
+        response = error_response(
+            405,
+            f"method {request.method} not allowed on {request.path}; "
+            f"use {allow}",
+        )
+        response.headers["Allow"] = allow
+        return response
+
+    def _retry_after_s(self) -> float:
+        """Backoff hint derived from compute-queue depth.
+
+        An empty queue suggests retrying almost immediately (1 s); a
+        full one the expected drain time (5 s).  Both saturation paths
+        (point requests and sweep/experiment job submission) share this
+        derivation so clients see one consistent hint.
+        """
+        bound = max(1, self.pool.max_pending)
+        depth = min(self.pool.in_flight, bound)
+        return round(1.0 + 4.0 * (depth / bound), 1)
 
     # ------------------------------------------------------------------
     # health and stats
@@ -93,7 +152,8 @@ class ServiceApp:
         return Response(
             payload={
                 "status": "ok",
-                "uptime_s": round(time.time() - self.started_at, 3),
+                "started_at": self.started_at,
+                "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
             }
         )
 
@@ -128,6 +188,7 @@ class ServiceApp:
         # released counters, or null when this replica runs unclaimed.
         claims = getattr(runner, "claims", None)
         snapshot["claims"] = claims.stats() if claims is not None else None
+        snapshot["sessions"] = self.sessions.stats()
         return Response(payload=snapshot)
 
     def _count_cache_entries(self) -> int | None:
@@ -221,7 +282,7 @@ class ServiceApp:
         try:
             job = self.jobs.submit(spec.kind, points, experiment=name)
         except PoolSaturated as exc:
-            return error_response(429, str(exc), retry_after_s=5.0)
+            return error_response(429, str(exc), retry_after_s=self._retry_after_s())
         return Response(
             status=202,
             payload={
@@ -273,10 +334,15 @@ class ServiceApp:
             outcome = await self.pool.fetch(point, **fetch_kwargs)
         except PoolSaturated as exc:
             return error_response(
-                429, str(exc), retry_after_s=1.0
+                429, str(exc), retry_after_s=self._retry_after_s()
             )
         except PointTimeout as exc:
-            return error_response(504, str(exc))
+            # The computation continues and will land in the cache, so
+            # the retry hint (and Retry-After header) tells the client
+            # when a retry is likely to be a pure hit.
+            return error_response(
+                504, str(exc), retry_after_s=self._retry_after_s()
+            )
         except SweepError as exc:
             return error_response(500, str(exc))
         return Response(
@@ -333,7 +399,7 @@ class ServiceApp:
         try:
             job = self.jobs.submit(kind, points)
         except PoolSaturated as exc:
-            return error_response(429, str(exc), retry_after_s=5.0)
+            return error_response(429, str(exc), retry_after_s=self._retry_after_s())
         return Response(
             status=202,
             payload={
@@ -355,3 +421,125 @@ class ServiceApp:
             return error_response(404, f"no such job: {job_id!r}")
         include_results = request.query.get("results") in ("1", "true", "yes")
         return Response(payload=job.status(include_results=include_results))
+
+    # ------------------------------------------------------------------
+    # streaming prediction sessions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _session_error(exc: SessionError) -> Response:
+        extra: dict[str, Any] = {}
+        if exc.retry_after_s is not None:
+            extra["retry_after_s"] = round(exc.retry_after_s, 1)
+        return error_response(exc.status, exc.message, **extra)
+
+    def _session_id(self, request: Request) -> str:
+        return request.path.removeprefix("/v1/sessions/").removesuffix("/events")
+
+    def _open_session(self, request: Request) -> Response:
+        """``POST /v1/sessions``: admit one live predictor session."""
+        try:
+            body = request.json()
+        except Exception as exc:  # WireError
+            return error_response(400, str(exc))
+        if not isinstance(body, dict):
+            return error_response(400, "session body must be a JSON object")
+        unknown = set(body) - {"predictor", "depth", "num_procs"}
+        if unknown:
+            return error_response(
+                400, f"unknown session field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            session = self.sessions.open(
+                predictor=body.get("predictor", "MSP"),
+                depth=body.get("depth", 1),
+                num_procs=body.get("num_procs", 16),
+            )
+        except SessionError as exc:
+            return self._session_error(exc)
+        except (TypeError, ValueError) as exc:
+            return error_response(400, f"invalid session parameters: {exc}")
+        return Response(
+            status=201,
+            payload={
+                "session": session.id,
+                "predictor": session.predictor_name,
+                "depth": session.depth,
+                "num_procs": session.num_procs,
+                "events_url": f"/v1/sessions/{session.id}/events",
+                "max_events": self.sessions.max_events,
+                "ttl_s": self.sessions.ttl_s,
+            },
+        )
+
+    def _session_list(self, request: Request) -> Response:
+        self.sessions.reap()
+        now = time.monotonic()
+        return Response(
+            payload={
+                "sessions": [s.status(now) for s in self.sessions.sessions()],
+                "counters": self.sessions.stats(),
+            }
+        )
+
+    def _session_status(self, request: Request) -> Response:
+        try:
+            session = self.sessions.peek(self._session_id(request))
+        except SessionError as exc:
+            return self._session_error(exc)
+        return Response(payload=session.status(time.monotonic()))
+
+    def _close_session(self, request: Request) -> Response:
+        """``DELETE /v1/sessions/<id>``: flush, summarize, remove.
+
+        The summary's ``run`` object is bit-identical to the
+        per-predictor entry a batch ``accuracy`` point over the same
+        event sequence reports.
+        """
+        try:
+            summary = self.sessions.close(self._session_id(request))
+        except SessionError as exc:
+            return self._session_error(exc)
+        return Response(payload=summary)
+
+    def _session_events(self, request: Request) -> Response:
+        """``POST /v1/sessions/<id>/events``: one NDJSON batch in,
+        chunked NDJSON predictions out.
+
+        The batch is validated and applied atomically *before* the
+        response starts (so a 400/413 can still be a clean JSON error,
+        and a client disconnect mid-response can never leave the
+        session half-fed); the per-event prediction lines then stream
+        back chunk-by-chunk with ``Transfer-Encoding: chunked``.
+        """
+        session_id = self._session_id(request)
+        try:
+            session = self.sessions.peek(session_id)
+        except SessionError as exc:
+            return self._session_error(exc)
+        try:
+            messages = parse_ndjson_events(request.body, session.num_procs)
+        except ValueError as exc:
+            return error_response(400, f"bad event batch: {exc}")
+        try:
+            lines = self.sessions.feed(session_id, messages)
+        except SessionError as exc:
+            return self._session_error(exc)
+
+        async def stream():
+            # Group lines into ~16 KB chunks: still streamed (a large
+            # batch arrives as many flushed chunks), without a drain
+            # per 100-byte line.
+            buffer = bytearray()
+            for line in lines:
+                buffer += (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
+                if len(buffer) >= 16384:
+                    yield bytes(buffer)
+                    buffer.clear()
+            if buffer:
+                yield bytes(buffer)
+
+        return Response(
+            status=200,
+            headers={"X-Session-Events": str(len(lines))},
+            stream=stream(),
+        )

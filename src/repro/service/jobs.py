@@ -54,7 +54,11 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
 class ServiceStats:
     """Counters and latency windows behind ``GET /statz``."""
 
+    #: Wall-clock start, reported as a timestamp; ``uptime_s`` is
+    #: measured against the monotonic anchor below — an NTP step must
+    #: never make uptime jump or go negative.
     started_at: float = field(default_factory=time.time)
+    started_monotonic: float = field(default_factory=time.monotonic)
     hits: int = 0
     computes: int = 0
     coalesced: int = 0
@@ -93,7 +97,8 @@ class ServiceStats:
         hit = sorted(self.hit_latencies_ms)
         compute = sorted(self.compute_latencies_ms)
         return {
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "started_at": self.started_at,
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
             "point_requests": total,
             "hits": self.hits,
             "computes": self.computes,
@@ -239,9 +244,24 @@ class SweepJob:
     cached: int = 0
     error: str | None = None
     results: list[Any] = field(default_factory=list)
+    #: Wall-clock timestamps, reported as timestamps; ``elapsed_s`` is
+    #: computed from the monotonic anchors so a wall-clock (NTP) step
+    #: can never make a job's elapsed time jump or go negative.
     created_at: float = field(default_factory=time.time)
     finished_at: float | None = None
+    created_monotonic: float = field(default_factory=time.monotonic)
+    finished_monotonic: float | None = None
     task: asyncio.Task | None = None
+
+    @property
+    def elapsed_s(self) -> float:
+        """Monotonic runtime: so-far while running, total once finished."""
+        end = (
+            self.finished_monotonic
+            if self.finished_monotonic is not None
+            else time.monotonic()
+        )
+        return end - self.created_monotonic
 
     def status(self, include_results: bool = False) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -254,6 +274,7 @@ class SweepJob:
             "cached": self.cached,
             "created_at": self.created_at,
             "finished_at": self.finished_at,
+            "elapsed_s": round(self.elapsed_s, 3),
         }
         if self.error is not None:
             payload["error"] = self.error
@@ -345,6 +366,7 @@ class JobTable:
         else:
             job.state = "done"
         job.finished_at = time.time()
+        job.finished_monotonic = time.monotonic()
 
     def _evict_finished(self) -> None:
         """Drop oldest finished jobs once the table is over capacity."""

@@ -20,6 +20,12 @@ from repro.harness import (
 )
 from repro.service.app import ServiceApp
 from repro.service.jobs import ComputePool, JobTable
+from repro.service.sessions import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_SESSION_TTL_S,
+    SessionTable,
+)
 from repro.service.wire import (
     WireError,
     error_response,
@@ -55,6 +61,13 @@ class ServiceConfig:
     #: Claim owner id for this replica (default: host:pid).
     worker_id: str | None = None
     claim_ttl_s: float = DEFAULT_CLAIM_TTL_S
+    #: Streaming prediction sessions (``POST /v1/sessions``): admission
+    #: bound, idle TTL before a session is reaped, and the per-session
+    #: event bound (predictor state grows with the trace, so unbounded
+    #: sessions are unbounded memory; see docs/performance.md).
+    max_sessions: int = DEFAULT_MAX_SESSIONS
+    session_ttl_s: float = DEFAULT_SESSION_TTL_S
+    session_max_events: int = DEFAULT_MAX_EVENTS
 
 
 class ReproService:
@@ -102,8 +115,14 @@ class ReproService:
             timeout_s=self.config.timeout_s,
         )
         self.jobs = JobTable(self.pool, concurrency=self.config.job_concurrency)
-        self.app = ServiceApp(self.pool, self.jobs)
+        self.sessions = SessionTable(
+            max_sessions=self.config.max_sessions,
+            ttl_s=self.config.session_ttl_s,
+            max_events=self.config.session_max_events,
+        )
+        self.app = ServiceApp(self.pool, self.jobs, self.sessions)
         self._server: asyncio.Server | None = None
+        self._reaper: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -123,11 +142,27 @@ class ReproService:
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
+        # Idle-session reaping is lazy (every table access reaps), but a
+        # replica that stops receiving traffic should still free
+        # predictor state — this sweep bounds how long an abandoned
+        # session can outlive its TTL.
+        self._reaper = asyncio.get_running_loop().create_task(
+            self._reap_sessions_forever()
+        )
         return self
+
+    async def _reap_sessions_forever(self) -> None:
+        interval = max(1.0, self.config.session_ttl_s / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.sessions.reap()
 
     async def stop(self) -> None:
         """Stop accepting, drain in-flight computations, free the pool."""
         server, self._server = self._server, None
+        reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.cancel()
         if server is not None:
             server.close()
             await server.wait_closed()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+from collections.abc import AsyncIterator
 from dataclasses import dataclass, field
 from typing import Any
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -24,11 +26,13 @@ MAX_BODY_BYTES = 1 << 20
 
 REASONS = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     429: "Too Many Requests",
@@ -73,11 +77,23 @@ class Request:
 
 @dataclass(slots=True)
 class Response:
-    """One JSON response to be written back."""
+    """One response to be written back.
+
+    Two framings share this type:
+
+    * ``payload`` (the default) — a JSON body written with an explicit
+      ``Content-Length``;
+    * ``stream`` — an async iterator of byte chunks written with
+      ``Transfer-Encoding: chunked``, one HTTP chunk per yielded value,
+      drained as they are produced.  Streaming responses default to
+      NDJSON content (one JSON object per line) unless ``headers``
+      overrides ``Content-Type``.
+    """
 
     status: int = 200
     payload: Any = None
     headers: dict[str, str] = field(default_factory=dict)
+    stream: AsyncIterator[bytes] | None = None
 
     def encode_body(self) -> bytes:
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
@@ -190,9 +206,37 @@ async def read_request(
 async def write_response(
     writer: asyncio.StreamWriter, response: Response, keep_alive: bool
 ) -> None:
-    """Serialize one response (JSON body, explicit length) and drain."""
-    body = response.encode_body()
+    """Serialize one response and drain.
+
+    Payload responses are JSON with an explicit ``Content-Length``;
+    stream responses are written chunk-by-chunk with
+    ``Transfer-Encoding: chunked`` (each yielded chunk is flushed
+    before the next is pulled, so a slow consumer sees results as they
+    are produced, and the terminating zero-chunk keeps keep-alive
+    framing intact).
+    """
     reason = REASONS.get(response.status, "Unknown")
+    if response.stream is not None:
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            "Content-Type: application/x-ndjson; charset=utf-8",
+            "Transfer-Encoding: chunked",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(
+            f"{name}: {value}" for name, value in response.headers.items()
+        )
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii"))
+        await writer.drain()
+        async for chunk in response.stream:
+            if not chunk:
+                continue  # a zero-length chunk would terminate the body
+            writer.write(f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return
+    body = response.encode_body()
     head = [
         f"HTTP/1.1 {response.status} {reason}",
         "Content-Type: application/json; charset=utf-8",
@@ -205,6 +249,17 @@ async def write_response(
 
 
 def error_response(status: int, message: str, **extra: Any) -> Response:
+    """A JSON error body, plus the standard headers clients rely on.
+
+    A ``retry_after_s`` hint is mirrored into a real ``Retry-After``
+    header (rounded up to whole seconds, the delta-seconds form of RFC
+    9110 §10.2.3) — standard HTTP clients, proxies, and load balancers
+    only honor the header, never a JSON field.
+    """
     payload = {"error": message}
     payload.update(extra)
-    return Response(status=status, payload=payload)
+    response = Response(status=status, payload=payload)
+    retry_after = extra.get("retry_after_s")
+    if retry_after is not None:
+        response.headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+    return response

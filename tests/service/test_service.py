@@ -3,6 +3,8 @@
 import asyncio
 import json
 
+import pytest
+
 from repro.eval.cli import main as cli_main
 from repro.harness import ParallelRunner, ResultStore
 from repro.service import ReproService, ServiceConfig
@@ -11,8 +13,15 @@ from tests.service.conftest import CALLS, gate
 from tests.service.test_jobs import settle
 
 
-async def http_request(port, target, method="GET", body=None, connection="close"):
-    """One request over a fresh connection; returns (status, json_payload)."""
+async def http_request(
+    port, target, method="GET", body=None, connection="close", return_headers=False
+):
+    """One request over a fresh connection; returns (status, json_payload).
+
+    With ``return_headers=True`` a third element carries the response
+    headers as a lower-cased-name dict, for tests asserting on
+    ``Retry-After`` / ``Allow`` and friends.
+    """
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     try:
         head = f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n"
@@ -26,14 +35,18 @@ async def http_request(port, target, method="GET", body=None, connection="close"
         status_line = await reader.readline()
         status = int(status_line.split()[1])
         length = None
+        headers = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b""):
                 break
             name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         data = await reader.readexactly(length)
+        if return_headers:
+            return status, json.loads(data), headers
         return status, json.loads(data)
     finally:
         writer.close()
@@ -79,6 +92,35 @@ class TestSmoke:
             assert status == 405
             status, _ = await http_request(service.port, "/v1/sweep")
             assert status == 405
+
+        run_with_service(tmp_path, scenario)
+
+    @pytest.mark.parametrize(
+        "path, allowed",
+        [
+            ("/healthz", "GET"),
+            ("/statz", "GET"),
+            ("/v1/experiments", "GET"),
+            ("/v1/experiments/figure7", "GET"),
+            ("/v1/point", "GET"),
+            ("/v1/sweep", "POST"),
+            ("/v1/jobs", "GET"),
+            ("/v1/jobs/job-00001", "GET"),
+            ("/v1/sessions", "GET, POST"),
+            ("/v1/sessions/sess-00001", "DELETE, GET"),
+            ("/v1/sessions/sess-00001/events", "POST"),
+        ],
+    )
+    def test_every_405_names_the_allowed_methods(self, tmp_path, path, allowed):
+        """RFC 9110: a 405 MUST carry an Allow header; every route does."""
+
+        async def scenario(service):
+            status, body, headers = await http_request(
+                service.port, path, method="PUT", body={}, return_headers=True
+            )
+            assert status == 405
+            assert headers["allow"] == allowed
+            assert allowed in body["error"]
 
         run_with_service(tmp_path, scenario)
 
@@ -290,12 +332,18 @@ class TestPointEndpoint:
                 http_request(service.port, "/v1/point?kind=svc_probe&payload=1&gate=full")
             )
             await settle(lambda: service.pool.in_flight == 1)
-            status, body = await http_request(
-                service.port, "/v1/point?kind=svc_probe&payload=2"
+            status, body, headers = await http_request(
+                service.port,
+                "/v1/point?kind=svc_probe&payload=2",
+                return_headers=True,
             )
             assert status == 429
             assert "queue is full" in body["error"]
-            assert body["retry_after_s"] == 1.0
+            # The hint is derived from queue depth: full queue → 5.0s,
+            # and it travels as a real RFC 9110 Retry-After header too
+            # (delta-seconds, rounded up to whole seconds).
+            assert body["retry_after_s"] == 5.0
+            assert headers["retry-after"] == "5"
             gate("full").set()
             status, _ = await blocked
             assert status == 200

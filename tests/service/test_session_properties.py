@@ -1,0 +1,189 @@
+"""Property tests for the session lifecycle (tentpole invariants).
+
+Three claims, each load-bearing for the streaming API:
+
+1. **Stream ≡ batch** — however a message sequence is sliced into
+   ``feed`` batches, the finalized session reports exactly what one
+   predictor observing the concatenated sequence reports.  This is the
+   semantic contract behind the golden HTTP test, checked here across
+   arbitrary sequences and splits rather than one recorded trace.
+2. **No premature eviction** — a session that keeps touching the table
+   within its TTL is never reaped, no matter what other sessions come
+   and go around it; eviction only ever claims sessions whose idle
+   time exceeds the TTL.
+3. **Counter balance** — ``opened == active + closed + evicted`` at
+   every step, so the ``/statz`` ``sessions`` section can be trusted
+   as a conservation law, not a best-effort gauge.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.common.types import Message, MessageKind
+from repro.predictors import PREDICTOR_CLASSES
+from repro.service.sessions import (
+    SessionBoundExceeded,
+    SessionTable,
+    SessionTableFull,
+    UnknownSession,
+)
+from tests.strategies import STANDARD_SETTINGS
+
+pytestmark = pytest.mark.property
+
+NUM_PROCS = 4
+MESSAGES = st.builds(
+    Message,
+    kind=st.sampled_from(list(MessageKind)),
+    node=st.integers(min_value=0, max_value=NUM_PROCS - 1),
+    block=st.integers(min_value=0, max_value=3),
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# 1. stream ≡ batch, for every predictor and any batch slicing
+# ----------------------------------------------------------------------
+@given(
+    predictor=st.sampled_from(sorted(PREDICTOR_CLASSES)),
+    depth=st.integers(min_value=1, max_value=3),
+    messages=st.lists(MESSAGES, max_size=60),
+    cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=5),
+)
+@STANDARD_SETTINGS
+def test_streamed_batches_equal_one_batch(predictor, depth, messages, cuts):
+    table = SessionTable(clock=FakeClock())
+    session = table.open(predictor, depth=depth, num_procs=NUM_PROCS)
+    bounds = sorted({c for c in cuts if c < len(messages)} | {0, len(messages)})
+    for start, end in zip(bounds, bounds[1:]):
+        table.feed(session.id, messages[start:end])
+    streamed = table.close(session.id)
+
+    reference = PREDICTOR_CLASSES[predictor](depth=depth)
+    for message in messages:
+        reference.observe(message)
+    flush = getattr(reference, "flush", None)
+    if flush is not None:
+        flush()
+    average_pte = reference.average_pattern_entries()
+    profile = reference.storage_profile(NUM_PROCS, depth)
+    assert streamed["run"] == {
+        "accuracy": reference.stats.accuracy,
+        "coverage": reference.stats.coverage,
+        "correct_fraction": reference.stats.correct_fraction,
+        "average_pte": average_pte,
+        "overhead_bytes": profile.bytes_per_block(average_pte),
+    }
+    assert streamed["stats"] == {
+        "observed": reference.stats.observed,
+        "predicted": reference.stats.predicted,
+        "correct": reference.stats.correct,
+        "ignored": reference.stats.ignored,
+    }
+    assert streamed["events"] == len(messages)
+
+
+# ----------------------------------------------------------------------
+# 2 + 3. eviction discipline and counter balance, under arbitrary
+#        interleavings of opens, feeds, closes, reaps, and time
+# ----------------------------------------------------------------------
+class SessionLifecycleMachine(RuleBasedStateMachine):
+    TTL = 50.0
+
+    def __init__(self):
+        super().__init__()
+        self.clock = FakeClock()
+        self.table = SessionTable(
+            max_sessions=3, ttl_s=self.TTL, max_events=20, clock=self.clock
+        )
+        #: id -> last-activity time of every session the model believes
+        #: is live (the table must agree).
+        self.live: dict[str, float] = {}
+
+    # -- rules ----------------------------------------------------------
+    @rule(seconds=st.floats(min_value=0.0, max_value=60.0))
+    def advance(self, seconds):
+        self.clock.now += seconds
+
+    @rule()
+    def open(self):
+        try:
+            session = self.table.open("MSP", num_procs=NUM_PROCS)
+        except SessionTableFull:
+            # Admission may only be refused while the table really is
+            # full of unexpired sessions.
+            unexpired = [
+                t for t in self.live.values()
+                if self.clock.now - t <= self.TTL
+            ]
+            assert len(unexpired) >= self.table.max_sessions
+        else:
+            self.live[session.id] = self.clock.now
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.integers(min_value=0), count=st.integers(min_value=1, max_value=8))
+    def feed(self, pick, count):
+        session_id = sorted(self.live)[pick % len(self.live)]
+        batch = [
+            Message(kind=MessageKind.READ, node=0, block=0) for _ in range(count)
+        ]
+        try:
+            self.table.feed(session_id, batch)
+        except UnknownSession:
+            # Only an expired session may have been reaped.
+            assert self.clock.now - self.live.pop(session_id) > self.TTL
+        except SessionBoundExceeded:
+            self.live[session_id] = self.clock.now  # feed() touched it
+        else:
+            self.live[session_id] = self.clock.now
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.integers(min_value=0))
+    def close(self, pick):
+        session_id = sorted(self.live)[pick % len(self.live)]
+        try:
+            self.table.close(session_id)
+        except UnknownSession:
+            assert self.clock.now - self.live[session_id] > self.TTL
+        del self.live[session_id]
+
+    @rule()
+    def reap(self):
+        for session in self.table.reap():
+            assert self.clock.now - self.live.pop(session.id) > self.TTL
+
+    # -- invariants -----------------------------------------------------
+    @invariant()
+    def active_sessions_are_within_ttl_or_model_live(self):
+        # Anything still in the table is something the model believes
+        # is live; anything the model believes is live AND fresh must
+        # still be in the table (no premature eviction).
+        table_ids = {s.id for s in self.table.sessions()}
+        assert table_ids <= set(self.live)
+        fresh = {
+            session_id
+            for session_id, touched in self.live.items()
+            if self.clock.now - touched <= self.TTL
+        }
+        assert fresh <= table_ids
+
+    @invariant()
+    def counters_balance(self):
+        table = self.table
+        assert table.opened == table.active + table.closed + table.evicted
+
+
+SessionLifecycleMachine.TestCase.settings = STANDARD_SETTINGS
+TestSessionLifecycle = SessionLifecycleMachine.TestCase
