@@ -51,6 +51,14 @@ matching batch sweep point::
 
     repro-paper session --url http://127.0.0.1:8599 \\
         --app em3d --predictor MSP --depth 2 --num-procs 4
+
+The ``fleet`` subcommand renders a claims directory's ``events.log``
+into a who-computed-what status table — per-worker counters, currently
+held claims with heartbeat ages, and an exactly-once audit — without
+joining the fleet or taking any claims itself::
+
+    repro-paper fleet --cache-dir /shared/cache        # <cache-dir>/claims
+    repro-paper fleet --claim-dir /shared/claims --json
 """
 
 from __future__ import annotations
@@ -380,7 +388,17 @@ def _serve_main(argv: list[str]) -> int:
             "request coalescing.  Endpoints: GET /v1/point, "
             "POST /v1/sweep, GET /v1/jobs/<id>, GET /v1/experiments, "
             "POST /v1/sessions (streaming prediction sessions), "
-            "GET /healthz, GET /statz.  See docs/service.md."
+            "GET /healthz, GET /statz, GET /metrics (Prometheus text "
+            "format).  See docs/service.md."
+        ),
+        epilog=(
+            "Operability: --api-key (or REPRO_API_KEY) requires every "
+            "request except /healthz to present the key via "
+            "'Authorization: Bearer' or 'X-API-Key'; /metrics exposes "
+            "the /statz counters in Prometheus text format; the hot "
+            "tier (--hot-entries/--hot-bytes) serves repeat cache hits "
+            "from memory.  'repro-paper fleet' summarizes a claims "
+            "directory shared by several replicas."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -435,6 +453,32 @@ def _serve_main(argv: list[str]) -> int:
         help="per-session event bound before batches get 413 "
         f"(default {DEFAULT_MAX_EVENTS})",
     )
+    from repro.harness import DEFAULT_HOT_BYTES, DEFAULT_HOT_ENTRIES
+
+    parser.add_argument(
+        "--api-key",
+        default=os.environ.get("REPRO_API_KEY"),
+        metavar="KEY",
+        help="require this API key on every endpoint except /healthz "
+        "(default: the REPRO_API_KEY environment variable; unset = "
+        "no auth)",
+    )
+    parser.add_argument(
+        "--hot-entries",
+        type=int,
+        default=DEFAULT_HOT_ENTRIES,
+        metavar="N",
+        help="in-memory hot-tier entry bound in front of the cache "
+        f"(0 disables the tier; default {DEFAULT_HOT_ENTRIES})",
+    )
+    parser.add_argument(
+        "--hot-bytes",
+        type=int,
+        default=DEFAULT_HOT_BYTES,
+        metavar="BYTES",
+        help="in-memory hot-tier byte bound "
+        f"(0 disables the tier; default {DEFAULT_HOT_BYTES})",
+    )
     _add_harness_options(parser)
     args = parser.parse_args(argv)
     if args.max_pending < 1:
@@ -445,6 +489,8 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--session-ttl must be > 0 seconds")
     if args.session_max_events < 1:
         parser.error("--session-max-events must be >= 1")
+    if args.hot_entries < 0 or args.hot_bytes < 0:
+        parser.error("--hot-entries/--hot-bytes must be >= 0 (0 disables)")
     _validate_claim_options(args, parser)
 
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
@@ -462,12 +508,166 @@ def _serve_main(argv: list[str]) -> int:
         max_sessions=args.max_sessions,
         session_ttl_s=args.session_ttl,
         session_max_events=args.session_max_events,
+        api_key=args.api_key,
+        hot_entries=args.hot_entries,
+        hot_bytes=args.hot_bytes,
     )
 
     def announce(service) -> None:
-        print(f"repro-paper serve: listening on {service.url}", flush=True)
+        auth = " (API key required)" if config.api_key else ""
+        print(f"repro-paper serve: listening on {service.url}{auth}", flush=True)
 
     return run_service(config, announce)
+
+
+def _fleet_main(argv: list[str]) -> int:
+    """``repro-paper fleet``: render a claims directory into a status table.
+
+    Read-only by design — it parses ``events.log`` and stats the live
+    ``*.claim`` files, but never takes, refreshes, or steals a claim,
+    so it is safe to run against a fleet mid-computation.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-paper fleet",
+        description=(
+            "Summarize the claim coordination of workers sharing one "
+            "cache: per-worker claimed/computed/stolen counters from "
+            "events.log, currently held claims with heartbeat ages, "
+            "and an exactly-once audit flagging any point computed "
+            "more than once."
+        ),
+    )
+    parser.add_argument(
+        "--claim-dir",
+        default=None,
+        metavar="DIR",
+        help="claims directory to inspect "
+        "(default: <cache-dir>/claims)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache dir whose claims/ subdirectory to inspect "
+        "(default: .repro-cache, or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--claim-ttl",
+        type=float,
+        default=DEFAULT_CLAIM_TTL_S,
+        metavar="SECONDS",
+        help="heartbeat age past which a held claim is flagged stale "
+        f"(default {DEFAULT_CLAIM_TTL_S:.0f}s)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of the table",
+    )
+    args = parser.parse_args(argv)
+    if args.claim_ttl <= 0:
+        parser.error("--claim-ttl must be > 0 seconds")
+
+    from pathlib import Path
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else _default_cache_dir()
+    claim_dir = Path(
+        args.claim_dir if args.claim_dir is not None else Path(cache_dir) / "claims"
+    )
+    if not claim_dir.is_dir():
+        print(
+            f"repro-paper fleet: error: no claims directory at {claim_dir} "
+            "(point --claim-dir or --cache-dir at a fleet's shared cache)",
+            file=sys.stderr,
+        )
+        return 1
+    # ClaimBoard only to reuse its event/claim parsing: constructing it
+    # registers no claims and writes nothing (the dir already exists).
+    board = ClaimBoard(claim_dir, owner="fleet-status", ttl_s=args.claim_ttl)
+    events = board.events()
+
+    counted_events = ("claimed", "computed", "released", "stolen", "lost")
+    owners: dict[str, dict[str, int]] = {}
+    computed_keys: dict[str, int] = {}
+    for record in events:
+        event = record.get("event")
+        owner = record.get("owner")
+        if event not in counted_events or not isinstance(owner, str):
+            continue
+        row = owners.setdefault(owner, {name: 0 for name in counted_events})
+        row[event] += 1
+        if event == "computed" and isinstance(record.get("key"), str):
+            computed_keys[record["key"]] = computed_keys.get(record["key"], 0) + 1
+    duplicates = sorted(
+        key for key, count in computed_keys.items() if count > 1
+    )
+
+    active = []
+    for path in sorted(claim_dir.glob("*.claim")):
+        key = path.stem
+        info = board.read(key)
+        if info is None:
+            continue  # released between glob and stat
+        active.append(
+            {
+                "key": key,
+                "owner": info.owner,
+                "host": info.host,
+                "pid": info.pid,
+                "age_s": round(info.age_s, 1),
+                "stale": info.age_s > args.claim_ttl,
+            }
+        )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "claim_dir": str(claim_dir),
+                    "ttl_s": args.claim_ttl,
+                    "events": len(events),
+                    "workers": owners,
+                    "points_computed": len(computed_keys),
+                    "duplicates": duplicates,
+                    "active": active,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    print(f"fleet status: {claim_dir} (ttl {args.claim_ttl:.0f}s)")
+    if not owners:
+        print("  no claim events recorded yet")
+    else:
+        width = max(len("worker"), max(len(owner) for owner in owners))
+        header = "  ".join(f"{name:>8}" for name in counted_events)
+        print(f"{'worker':<{width}}  {header}")
+        for owner in sorted(owners):
+            row = owners[owner]
+            cells = "  ".join(f"{row[name]:>8}" for name in counted_events)
+            print(f"{owner:<{width}}  {cells}")
+    print(
+        f"{len(computed_keys)} distinct points computed across "
+        f"{len(owners)} worker(s); {len(events)} events"
+    )
+    if duplicates:
+        print(f"WARNING: {len(duplicates)} point(s) computed more than once:")
+        for key in duplicates:
+            print(f"  {key} x{computed_keys[key]}")
+    else:
+        print("exactly-once audit: clean (no point computed twice)")
+    if active:
+        print(f"active claims ({len(active)}):")
+        for claim in active:
+            stale = "  STALE" if claim["stale"] else ""
+            print(
+                f"  {claim['key']}  owner={claim['owner']}  "
+                f"age={claim['age_s']}s{stale}"
+            )
+    else:
+        print("active claims: none")
+    return 0
 
 
 def _session_main(argv: list[str]) -> int:
@@ -621,6 +821,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "session":
         return _session_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-paper",

@@ -26,6 +26,11 @@ from repro.harness.claims import (
     ClaimedRunner,
     ClaimInfo,
 )
+from repro.harness.hot_tier import (
+    DEFAULT_HOT_BYTES,
+    DEFAULT_HOT_ENTRIES,
+    HotTier,
+)
 from repro.harness.runner import (
     ParallelRunner,
     PointOutcome,
@@ -60,7 +65,10 @@ __all__ = [
     "ClaimInfo",
     "ClaimedRunner",
     "DEFAULT_CLAIM_TTL_S",
+    "DEFAULT_HOT_BYTES",
+    "DEFAULT_HOT_ENTRIES",
     "ENTRY_VERSION",
+    "HotTier",
     "KEY_NEUTRAL_PARAMS",
     "MISS",
     "ParallelRunner",

@@ -522,7 +522,7 @@ class ClaimedRunner:
                         if entry is not MISS:
                             blocked.discard(point)
                             results[point] = entry.result
-                            report.note_cached(entry.elapsed_s)
+                            report.note_cached(entry.elapsed_s, hot=entry.hot)
                             progressed = True
                             continue
                     if not try_acquire:
@@ -532,7 +532,7 @@ class ClaimedRunner:
                     entry = store.load_entry(point)
                     if entry is not MISS:
                         results[point] = entry.result
-                        report.note_cached(entry.elapsed_s)
+                        report.note_cached(entry.elapsed_s, hot=entry.hot)
                         progressed = True
                         continue
                 key = self.claim_key(point)
@@ -547,7 +547,7 @@ class ClaimedRunner:
                 if entry is not MISS:
                     self.claims.release(key)
                     results[point] = entry.result
-                    report.note_cached(entry.elapsed_s)
+                    report.note_cached(entry.elapsed_s, hot=entry.hot)
                     progressed = True
                     continue
                 self._ensure_heartbeat()
@@ -614,7 +614,7 @@ class ClaimedRunner:
     @staticmethod
     def _note_outcome(report: SweepReport, outcome: PointOutcome) -> None:
         if outcome.cached:
-            report.note_cached(outcome.elapsed_s)
+            report.note_cached(outcome.elapsed_s, hot=outcome.hot)
         else:
             report.note_executed(
                 PointMetrics(

@@ -78,6 +78,9 @@ class SweepReport:
     #: Compiled-trace cache events observed by freshly executed points.
     trace_hits: int = 0
     trace_misses: int = 0
+    #: Cache hits served from the in-memory hot tier (a subset of
+    #: ``cached``; zero when the store has no tier attached).
+    hot_hits: int = 0
 
     @property
     def total(self) -> int:
@@ -90,10 +93,12 @@ class SweepReport:
         self.trace_hits += metrics.trace_hits
         self.trace_misses += metrics.trace_misses
 
-    def note_cached(self, elapsed_s: float | None) -> None:
+    def note_cached(self, elapsed_s: float | None, hot: bool = False) -> None:
         self.cached += 1
         if elapsed_s:
             self.saved_seconds += elapsed_s
+        if hot:
+            self.hot_hits += 1
 
     def timing_summary(self) -> str:
         """Human-readable per-point timing, e.g. for the CLI status line."""
@@ -109,6 +114,8 @@ class SweepReport:
             parts.append(
                 f"trace cache {self.trace_hits}h/{self.trace_misses}m"
             )
+        if self.hot_hits:
+            parts.append(f"hot tier {self.hot_hits}h")
         return "; ".join(parts)
 
 
@@ -148,6 +155,9 @@ class PointOutcome:
     #: for cache hits — a cached point never compiles anything).
     trace_hits: int = 0
     trace_misses: int = 0
+    #: True when a cached value was served from the in-memory hot tier
+    #: (no filesystem I/O beyond at most one validating ``stat``).
+    hot: bool = False
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -231,7 +241,7 @@ class ParallelRunner:
                     pending.append(point)
                 else:
                     results[point] = entry.result
-                    report.note_cached(entry.elapsed_s)
+                    report.note_cached(entry.elapsed_s, hot=entry.hot)
         else:
             pending = unique
 
@@ -379,7 +389,12 @@ class ParallelRunner:
         entry = self.store.load_entry(point)
         if entry is MISS:
             return None
-        return PointOutcome(value=entry.result, elapsed_s=entry.elapsed_s, cached=True)
+        return PointOutcome(
+            value=entry.result,
+            elapsed_s=entry.elapsed_s,
+            cached=True,
+            hot=entry.hot,
+        )
 
     def submit_point(self, point: SweepPoint) -> "Future[PointOutcome]":
         """Submit one point for execution; returns a future of its outcome.

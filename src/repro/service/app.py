@@ -8,6 +8,7 @@ tests can drive it without a server and the server stays dumb plumbing.
 
 from __future__ import annotations
 
+import hmac
 import json
 import time
 from collections.abc import Callable
@@ -22,6 +23,8 @@ from repro.harness import (
     validate_point_params,
 )
 from repro.service.jobs import ComputePool, JobTable, PointTimeout, PoolSaturated
+from repro.service.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.service.metrics import render_metrics
 from repro.service.sessions import (
     SessionError,
     SessionTable,
@@ -40,10 +43,22 @@ _TIMEOUT_PARAM = "_timeout_s"
 #: process (``behavior=crash``) — a remote client must not reach it.
 UNSERVABLE_KINDS = frozenset({"selftest"})
 
-#: How long a computed cache-entry count stays fresh in ``/statz``
+#: How long a computed trace-entry count stays fresh in ``/statz``
 #: (counting is a directory scan; monitoring pollers shouldn't pay it
-#: on every request).
+#: on every request).  Point-entry counts no longer scan at all — the
+#: store maintains them incrementally; this TTL only covers the rare
+#: configuration where the trace dir is NOT the store's directory.
 _CACHE_COUNT_TTL_S = 5.0
+
+#: How stale the store's incremental entry counts may grow before a
+#: rescan, when claim coordination is active (peer replicas write into
+#: the shared cache dir behind this process's back).  Unclaimed
+#: replicas are the only writer and never rescan.
+_SHARED_CACHE_RESCAN_S = 60.0
+
+#: Endpoints that bypass API-key auth: liveness probes (load balancers,
+#: Kubernetes) cannot carry credentials.
+AUTH_EXEMPT_PATHS = frozenset({"/healthz"})
 
 
 class ServiceApp:
@@ -54,16 +69,20 @@ class ServiceApp:
         pool: ComputePool,
         jobs: JobTable,
         sessions: SessionTable | None = None,
+        api_key: str | None = None,
     ) -> None:
         self.pool = pool
         self.jobs = jobs
         self.sessions = sessions if sessions is not None else SessionTable()
+        #: When set, every endpoint except :data:`AUTH_EXEMPT_PATHS`
+        #: requires this key (``Authorization: Bearer`` or
+        #: ``X-API-Key``); compared constant-time.
+        self.api_key = api_key
         #: Wall time this app came up, reported as a timestamp; uptime
         #: is measured against the monotonic anchor (an NTP step must
         #: never make uptime jump or go negative).
         self.started_at = time.time()
         self._started_monotonic = time.monotonic()
-        self._cache_count: tuple[float, int | None] | None = None
         self._trace_count: tuple[float, int | None] | None = None
 
     def servable_kinds(self) -> tuple[str, ...]:
@@ -82,6 +101,7 @@ class ServiceApp:
         exact: dict[str, dict[str, Callable]] = {
             "/healthz": {"GET": self._healthz},
             "/statz": {"GET": self._statz},
+            "/metrics": {"GET": self._metrics},
             "/v1/experiments": {"GET": self._experiments},
             "/v1/point": {"GET": self._point},
             "/v1/sweep": {"POST": self._sweep},
@@ -107,6 +127,12 @@ class ServiceApp:
         return None
 
     async def handle(self, request: Request) -> Response:
+        if not self._authorized(request):
+            response = error_response(
+                401, "missing or invalid API key"
+            )
+            response.headers["WWW-Authenticate"] = 'Bearer realm="repro-paper"'
+            return response
         methods = self._routes(request.path)
         if methods is None:
             return error_response(
@@ -119,6 +145,31 @@ class ServiceApp:
         if hasattr(result, "__await__"):
             return await result
         return result
+
+    def _authorized(self, request: Request) -> bool:
+        """True when the request may proceed.
+
+        With no key configured the service is open (the development
+        default).  With one, the client must present it via
+        ``Authorization: Bearer <key>`` or ``X-API-Key: <key>``; the
+        comparison is constant-time (:func:`hmac.compare_digest`) so
+        the check never leaks key bytes through response timing.
+        Liveness probes (:data:`AUTH_EXEMPT_PATHS`) are always allowed.
+        """
+        if self.api_key is None or request.path in AUTH_EXEMPT_PATHS:
+            return True
+        presented: str | None = None
+        authorization = request.headers.get("authorization", "")
+        scheme, _, credential = authorization.partition(" ")
+        if scheme.lower() == "bearer" and credential.strip():
+            presented = credential.strip()
+        elif "x-api-key" in request.headers:
+            presented = request.headers["x-api-key"]
+        if presented is None:
+            return False
+        return hmac.compare_digest(
+            presented.encode("utf-8"), self.api_key.encode("utf-8")
+        )
 
     @staticmethod
     def _method_not_allowed(
@@ -158,6 +209,18 @@ class ServiceApp:
         )
 
     def _statz(self, request: Request) -> Response:
+        return Response(payload=self._stats_snapshot())
+
+    def _metrics(self, request: Request) -> Response:
+        """``GET /metrics``: the same snapshot, Prometheus text format."""
+        return Response(
+            body=render_metrics(self._stats_snapshot()).encode("utf-8"),
+            headers={"Content-Type": METRICS_CONTENT_TYPE},
+        )
+
+    def _stats_snapshot(self) -> dict[str, Any]:
+        """One stats dict, shared verbatim by ``/statz`` and rendered
+        into text format by ``/metrics``."""
         runner = self.pool.runner
         snapshot = self.pool.stats.snapshot(
             in_flight=self.pool.in_flight, queue_bound=self.pool.max_pending
@@ -169,11 +232,12 @@ class ServiceApp:
         # NOTE: ResultStore defines __len__, so an empty store is falsy —
         # these checks must be identity checks, not truthiness.
         store = runner.store
+        claims = getattr(runner, "claims", None)
         snapshot["runner"] = {
             "jobs": runner.jobs,
             "pool_started": runner.incremental_started,
             "cache_dir": str(store.root) if store is not None else None,
-            "cache_entries": self._count_cache_entries(),
+            "cache_entries": self._count_cache_entries(claims_active=claims is not None),
         }
         from repro.trace import configured_trace_dir
 
@@ -186,44 +250,62 @@ class ServiceApp:
         )
         # Claim coordination (multi-replica deployments): held/stolen/
         # released counters, or null when this replica runs unclaimed.
-        claims = getattr(runner, "claims", None)
         snapshot["claims"] = claims.stats() if claims is not None else None
         snapshot["sessions"] = self.sessions.stats()
-        return Response(payload=snapshot)
+        snapshot["hot_tier"] = (
+            store.hot_tier.stats()
+            if store is not None and store.hot_tier is not None
+            else None
+        )
+        return snapshot
 
-    def _count_cache_entries(self) -> int | None:
-        """Point entries in the store, amortized over a few seconds.
+    def _count_cache_entries(self, claims_active: bool) -> int | None:
+        """Point entries in the store, from its incremental counts.
 
-        Compiled traces — both families, accuracy (``trace/``) and
-        timing (``timetrace/``) — share the store's directory but are
-        inputs, not point results: they are excluded here and counted
-        separately in the ``trace_cache`` section.
+        The store scans its directory exactly once and maintains the
+        counts on every write/discard, so this is a dict sum — the
+        periodic ``os.scandir`` the old implementation paid per poll is
+        gone.  With claim coordination active, peer replicas also write
+        into the cache dir, so the counts are allowed to refresh via a
+        bounded-staleness rescan; unclaimed replicas are the sole
+        writer and never rescan.  Compiled traces — both families,
+        accuracy (``trace/``) and timing (``timetrace/``) — share the
+        store's directory but are inputs, not point results: they are
+        excluded here and counted separately in ``trace_cache``.
         """
         store = self.pool.runner.store
         if store is None:
             return None
-        now = time.monotonic()
-        if self._cache_count is None or now - self._cache_count[0] > _CACHE_COUNT_TTL_S:
-            from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
+        from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
 
-            total = len(store)
-            traces = sum(
-                len(list(store.root.glob(f"{kind}/*.json")))
-                for kind in (TRACE_KIND, TIMETRACE_KIND)
-            )
-            self._cache_count = (now, total - traces)
-        return self._cache_count[1]
+        counts = store.entry_counts(
+            max_age_s=_SHARED_CACHE_RESCAN_S if claims_active else None
+        )
+        return sum(
+            count
+            for kind, count in counts.items()
+            if kind not in (TRACE_KIND, TIMETRACE_KIND)
+        )
 
     def _count_trace_entries(self, trace_dir: str | None) -> int | None:
-        """Compiled traces on disk (both families), amortized like the
-        cache-entry count."""
+        """Compiled traces on disk (both families).
+
+        On the serve path the trace dir IS the store's directory (see
+        ``ReproService.__init__``), so the store's incremental counts
+        cover it for free; the amortized glob scan only survives for
+        the configuration where they differ.
+        """
         if trace_dir is None:
             return None
+        from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
+
+        store = self.pool.runner.store
+        if store is not None and str(store.root) == trace_dir:
+            counts = store.entry_counts()
+            return counts.get(TRACE_KIND, 0) + counts.get(TIMETRACE_KIND, 0)
         now = time.monotonic()
         if self._trace_count is None or now - self._trace_count[0] > _CACHE_COUNT_TTL_S:
             from pathlib import Path
-
-            from repro.trace.cache import TIMETRACE_KIND, TRACE_KIND
 
             self._trace_count = (
                 now,

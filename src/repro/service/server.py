@@ -13,8 +13,11 @@ from dataclasses import dataclass
 
 from repro.harness import (
     DEFAULT_CLAIM_TTL_S,
+    DEFAULT_HOT_BYTES,
+    DEFAULT_HOT_ENTRIES,
     ClaimBoard,
     ClaimedRunner,
+    HotTier,
     ParallelRunner,
     ResultStore,
 )
@@ -68,6 +71,14 @@ class ServiceConfig:
     max_sessions: int = DEFAULT_MAX_SESSIONS
     session_ttl_s: float = DEFAULT_SESSION_TTL_S
     session_max_events: int = DEFAULT_MAX_EVENTS
+    #: API key every endpoint except ``/healthz`` must present
+    #: (``Authorization: Bearer`` or ``X-API-Key``); None leaves the
+    #: service open (the development default).
+    api_key: str | None = None
+    #: In-process LRU hot tier in front of the on-disk store: entry and
+    #: byte bounds (0 disables the tier — every load reads the disk).
+    hot_entries: int = DEFAULT_HOT_ENTRIES
+    hot_bytes: int = DEFAULT_HOT_BYTES
 
 
 class ReproService:
@@ -78,8 +89,21 @@ class ReproService:
     ) -> None:
         self.config = config or ServiceConfig()
         if runner is None:
+            # Hot tier validation is tied to claim coordination: with
+            # peer replicas writing into the shared cache dir, each hit
+            # re-stats its backing file; single-replica deployments are
+            # the only writer and skip even that.
+            hot_tier = (
+                HotTier(
+                    max_entries=self.config.hot_entries,
+                    max_bytes=self.config.hot_bytes,
+                    validate=self.config.claim_dir is not None,
+                )
+                if self.config.hot_entries > 0 and self.config.hot_bytes > 0
+                else None
+            )
             store = (
-                ResultStore(self.config.cache_dir)
+                ResultStore(self.config.cache_dir, hot_tier=hot_tier)
                 if self.config.cache_dir is not None
                 else None
             )
@@ -120,7 +144,9 @@ class ReproService:
             ttl_s=self.config.session_ttl_s,
             max_events=self.config.session_max_events,
         )
-        self.app = ServiceApp(self.pool, self.jobs, self.sessions)
+        self.app = ServiceApp(
+            self.pool, self.jobs, self.sessions, api_key=self.config.api_key
+        )
         self._server: asyncio.Server | None = None
         self._reaper: asyncio.Task | None = None
 

@@ -29,6 +29,7 @@ REASONS = {
     201: "Created",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
@@ -79,10 +80,13 @@ class Request:
 class Response:
     """One response to be written back.
 
-    Two framings share this type:
+    Three framings share this type:
 
     * ``payload`` (the default) — a JSON body written with an explicit
       ``Content-Length``;
+    * ``body`` — pre-encoded raw bytes written as-is (set a
+      ``Content-Type`` header; ``/metrics`` uses this for the
+      Prometheus text exposition format);
     * ``stream`` — an async iterator of byte chunks written with
       ``Transfer-Encoding: chunked``, one HTTP chunk per yielded value,
       drained as they are produced.  Streaming responses default to
@@ -94,8 +98,11 @@ class Response:
     payload: Any = None
     headers: dict[str, str] = field(default_factory=dict)
     stream: AsyncIterator[bytes] | None = None
+    body: bytes | None = None
 
     def encode_body(self) -> bytes:
+        if self.body is not None:
+            return self.body
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
 
 
@@ -237,13 +244,22 @@ async def write_response(
         await writer.drain()
         return
     body = response.encode_body()
+    content_type = "application/json; charset=utf-8"
+    extra = []
+    for name, value in response.headers.items():
+        # A handler-supplied Content-Type (e.g. /metrics' text format)
+        # replaces the JSON default instead of duplicating the header.
+        if name.lower() == "content-type":
+            content_type = value
+        else:
+            extra.append(f"{name}: {value}")
     head = [
         f"HTTP/1.1 {response.status} {reason}",
-        "Content-Type: application/json; charset=utf-8",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
-    head.extend(f"{name}: {value}" for name, value in response.headers.items())
+    head.extend(extra)
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
     await writer.drain()
 

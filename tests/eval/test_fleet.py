@@ -1,0 +1,81 @@
+"""``repro-paper fleet``: claims-directory status rendering."""
+
+import json
+
+import pytest
+
+from repro.eval.cli import main as cli_main
+from repro.harness import ClaimBoard
+
+
+@pytest.fixture
+def board_dir(tmp_path):
+    """A claims directory two simulated workers have worked through."""
+    claims = tmp_path / "claims"
+    left = ClaimBoard(claims, owner="left", ttl_s=60)
+    right = ClaimBoard(claims, owner="right", ttl_s=60)
+    for key in ("k-aaa", "k-bbb"):
+        assert left.acquire(key)
+        left.note_computed(key)
+        left.release(key)
+    assert right.acquire("k-ccc")
+    right.note_computed("k-ccc")
+    right.release("k-ccc")
+    assert right.acquire("k-held")  # left held: shows as an active claim
+    return claims
+
+
+class TestFleetCommand:
+    def test_human_table(self, board_dir, capsys):
+        assert cli_main(["fleet", "--claim-dir", str(board_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "left" in out and "right" in out
+        assert "3 distinct points computed across 2 worker(s)" in out
+        assert "exactly-once audit: clean" in out
+        assert "k-held" in out and "owner=right" in out
+        assert "STALE" not in out
+
+    def test_json_output(self, board_dir, capsys):
+        assert cli_main(["fleet", "--claim-dir", str(board_dir), "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["points_computed"] == 3
+        assert fleet["duplicates"] == []
+        assert fleet["workers"]["left"]["computed"] == 2
+        assert fleet["workers"]["right"]["computed"] == 1
+        assert fleet["workers"]["left"]["claimed"] == 2
+        [active] = fleet["active"]
+        assert active["key"] == "k-held" and active["owner"] == "right"
+        assert active["stale"] is False
+
+    def test_duplicate_computes_are_flagged(self, board_dir, capsys):
+        # a second worker recomputes an already-computed point (e.g.
+        # after a mis-tuned TTL steal): the audit must call it out
+        rogue = ClaimBoard(board_dir, owner="rogue", ttl_s=60)
+        rogue.note_computed("k-aaa")
+        assert cli_main(["fleet", "--claim-dir", str(board_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out and "k-aaa x2" in out
+
+    def test_stale_claim_is_flagged(self, board_dir, capsys):
+        import os
+        import time
+
+        claim = board_dir / "k-held.claim"
+        old = time.time() - 1000
+        os.utime(claim, (old, old))
+        assert cli_main(["fleet", "--claim-dir", str(board_dir)]) == 0
+        assert "STALE" in capsys.readouterr().out
+
+    def test_missing_directory_errors(self, tmp_path, capsys):
+        assert cli_main(["fleet", "--claim-dir", str(tmp_path / "nope")]) == 1
+        assert "no claims directory" in capsys.readouterr().err
+
+    def test_cache_dir_derives_claims_subdir(self, board_dir, capsys):
+        cache_dir = board_dir.parent  # claims/ lives inside it
+        assert cli_main(["fleet", "--cache-dir", str(cache_dir)]) == 0
+        assert "3 distinct points" in capsys.readouterr().out
+
+    def test_read_only_no_new_events(self, board_dir):
+        before = (board_dir / "events.log").read_bytes()
+        assert cli_main(["fleet", "--claim-dir", str(board_dir)]) == 0
+        assert (board_dir / "events.log").read_bytes() == before

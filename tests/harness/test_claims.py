@@ -182,11 +182,15 @@ class TestClaimRaces:
     def test_threaded_steal_race_single_thief(self, tmp_path):
         """Many threads racing to steal one stale claim: the rename
         tombstone admits exactly one."""
-        dead = ClaimBoard(tmp_path, owner="dead", ttl_s=1.0)
+        # ttl must be generous: with a short one, a loaded machine can
+        # delay a losing thief's stat past the TTL, making the freshly
+        # stolen claim itself look stale (a second legitimate steal, and
+        # a flaky assertion).  The 60s backdate keeps the original stale.
+        dead = ClaimBoard(tmp_path, owner="dead", ttl_s=30.0)
         assert dead.acquire("k1")
         backdate(dead, "k1", seconds=60.0)
         boards = [
-            ClaimBoard(tmp_path, owner=f"thief-{i}", ttl_s=1.0) for i in range(6)
+            ClaimBoard(tmp_path, owner=f"thief-{i}", ttl_s=30.0) for i in range(6)
         ]
         barrier = threading.Barrier(len(boards))
         wins = []

@@ -1,0 +1,127 @@
+"""API-key auth: 401 matrix, header forms, and the /healthz exemption."""
+
+import asyncio
+import json
+
+from tests.service.test_service import http_request, run_with_service
+
+
+async def raw_request(port, target, headers=None, method="GET"):
+    """One request with arbitrary extra headers; returns
+    (status, headers_dict, body_bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write((head + "\r\n").encode())
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        response_headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        body = await reader.read()
+        return status, response_headers, body
+    finally:
+        writer.close()
+
+
+PROTECTED = [
+    "/statz",
+    "/metrics",
+    "/v1/experiments",
+    "/v1/point?kind=analytic&panel=accuracy&points=2",
+    "/v1/jobs",
+    "/v1/sessions",
+]
+
+
+class TestNoKeyConfigured:
+    def test_service_stays_open_without_a_key(self, tmp_path):
+        async def scenario(service):
+            for target in ("/healthz", "/statz", "/metrics", "/v1/jobs"):
+                status, _, _ = await raw_request(service.port, target)
+                assert status == 200, target
+
+        run_with_service(tmp_path, scenario)
+
+
+class TestKeyConfigured:
+    def test_every_protected_endpoint_requires_the_key(self, tmp_path):
+        async def scenario(service):
+            for target in PROTECTED:
+                status, headers, body = await raw_request(service.port, target)
+                assert status == 401, target
+                assert headers["www-authenticate"] == 'Bearer realm="repro-paper"'
+                assert "API key" in json.loads(body)["error"]
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
+
+    def test_healthz_is_exempt(self, tmp_path):
+        async def scenario(service):
+            status, _, _ = await raw_request(service.port, "/healthz")
+            assert status == 200
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
+
+    def test_bearer_and_x_api_key_both_accepted(self, tmp_path):
+        async def scenario(service):
+            for headers in (
+                {"Authorization": "Bearer sekrit"},
+                {"X-API-Key": "sekrit"},
+            ):
+                status, _, _ = await raw_request(
+                    service.port, "/statz", headers=headers
+                )
+                assert status == 200, headers
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
+
+    def test_wrong_key_and_wrong_scheme_rejected(self, tmp_path):
+        async def scenario(service):
+            for headers in (
+                {"Authorization": "Bearer wrong"},
+                {"X-API-Key": "wrong"},
+                {"Authorization": "Basic sekrit"},
+                {"Authorization": "Bearer"},
+            ):
+                status, _, _ = await raw_request(
+                    service.port, "/statz", headers=headers
+                )
+                assert status == 401, headers
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
+
+    def test_authorized_requests_serve_normally(self, tmp_path):
+        """Auth is a gate, not a behavior change: a keyed request gets
+        the same payloads an open service serves."""
+
+        async def scenario(service):
+            status, _, body = await raw_request(
+                service.port,
+                "/v1/point?kind=analytic&panel=accuracy&points=2",
+                headers={"X-API-Key": "sekrit"},
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["result"]["series"]
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
+
+    def test_unknown_route_is_still_401_without_key(self, tmp_path):
+        """Auth is checked before routing, so unauthenticated clients
+        cannot probe which endpoints exist."""
+
+        async def scenario(service):
+            status, _, _ = await raw_request(service.port, "/nope")
+            assert status == 401
+            status, _, _ = await raw_request(
+                service.port, "/nope", headers={"X-API-Key": "sekrit"}
+            )
+            assert status == 404
+
+        run_with_service(tmp_path, scenario, api_key="sekrit")
